@@ -1,0 +1,460 @@
+// Benchmark harness: one benchmark per table and figure of the paper.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the paper-comparable headline values as custom
+// benchmark metrics (visible in the standard output line) and logs the full
+// rows/series with -v. EXPERIMENTS.md records paper-vs-measured for all of
+// them.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/docking"
+	"repro/internal/forecast"
+	"repro/internal/grid"
+	"repro/internal/project"
+	"repro/internal/protein"
+	"repro/internal/stats"
+	"repro/internal/validate"
+	"repro/internal/vftp"
+	"repro/internal/volunteer"
+	"repro/internal/wcg"
+)
+
+var (
+	sysOnce sync.Once
+	sys     *core.System
+)
+
+func system() *core.System {
+	sysOnce.Do(func() { sys = core.NewHCMD() })
+	return sys
+}
+
+// campaignOnce caches one scaled campaign run shared by the Figure 6-8 and
+// Table 2 benchmarks (they report different views of the same experiment).
+var (
+	campOnce sync.Once
+	campRep  *project.Report
+)
+
+// benchScale trades fidelity for speed: 1/42 keeps four ligands per
+// receptor and a ~550-host population.
+const benchScale = 1.0 / 42
+
+func campaign() *project.Report {
+	campOnce.Do(func() { campRep = system().RunCampaign(benchScale, 0) })
+	return campRep
+}
+
+// BenchmarkFigure1_GridVFTP regenerates the grid-wide daily VFTP series
+// since the World Community Grid launch (growth, weekend dips, holiday
+// troughs).
+func BenchmarkFigure1_GridVFTP(b *testing.B) {
+	s := system()
+	var series *stats.Series
+	for i := 0; i < b.N; i++ {
+		series = s.Figure1(3 * 364)
+	}
+	b.ReportMetric(series.YMean(), "mean-vftp")
+	b.ReportMetric(series.YMax(), "peak-vftp")
+	// Paper (late 2007): ~74,825 VFTP the week the paper was written.
+	last := series.Window(float64(series.Len()-28), float64(series.Len()))
+	b.ReportMetric(last.YMean(), "final-month-vftp")
+}
+
+// BenchmarkFigure2_NsepDistribution regenerates the starting-position
+// histogram: most proteins below 3,000 positions, one above 8,000,
+// Σ Nsep = 294,533.
+func BenchmarkFigure2_NsepDistribution(b *testing.B) {
+	s := system()
+	var h *stats.Histogram
+	for i := 0; i < b.N; i++ {
+		h = s.Figure2()
+	}
+	b.ReportMetric(float64(s.DS.SumNsep()), "sum-nsep")
+	b.ReportMetric(float64(s.DS.MaxNsep()), "max-nsep")
+	b.ReportMetric(float64(h.MaxBin()), "modal-bin")
+	if b.N > 0 && s.DS.SumNsep() != protein.TotalNsep {
+		b.Fatalf("ΣNsep = %d, want %d", s.DS.SumNsep(), protein.TotalNsep)
+	}
+}
+
+// BenchmarkFigure3a_NrotLinearity verifies run time is linear in the number
+// of rotations (paper: correlation ≈ 0.99).
+func BenchmarkFigure3a_NrotLinearity(b *testing.B) {
+	s := system()
+	var rep costmodel.LinearityReport
+	for i := 0; i < b.N; i++ {
+		rep = s.Figure3(0, 1)
+	}
+	b.ReportMetric(rep.NrotR, "pearson-r")
+	b.ReportMetric(rep.NrotFit.R2, "r2")
+}
+
+// BenchmarkFigure3b_NsepLinearity verifies run time is linear in the number
+// of starting positions.
+func BenchmarkFigure3b_NsepLinearity(b *testing.B) {
+	s := system()
+	var rep costmodel.LinearityReport
+	for i := 0; i < b.N; i++ {
+		rep = s.Figure3(2, 3)
+	}
+	b.ReportMetric(rep.NsepR, "pearson-r")
+	b.ReportMetric(rep.NsepFit.R2, "r2")
+}
+
+// BenchmarkTable1_CostMatrixStats regenerates the computation-time matrix
+// statistics (paper: mean 671, σ 968.04, min 6, max 46,347, median 384).
+func BenchmarkTable1_CostMatrixStats(b *testing.B) {
+	s := system()
+	var st stats.Summary
+	for i := 0; i < b.N; i++ {
+		st = s.Table1()
+	}
+	b.ReportMetric(st.Mean, "mean-s")
+	b.ReportMetric(st.Std, "std-s")
+	b.ReportMetric(st.Median, "median-s")
+	b.ReportMetric(st.Max, "max-s")
+	count, _ := s.Matrix.TopShare(s.DS, 0.30)
+	b.ReportMetric(float64(count), "top30pct-proteins")
+}
+
+// BenchmarkFormula1_TotalWork evaluates the total-work formula (paper:
+// 1,488 years 237 days 19:45:54 ⇒ 46,946,115,954 s).
+func BenchmarkFormula1_TotalWork(b *testing.B) {
+	s := system()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total = s.TotalWork()
+	}
+	b.ReportMetric(total/86400/365, "cpu-years")
+	b.ReportMetric(total/costmodel.PaperTotalSeconds, "vs-paper-ratio")
+}
+
+// BenchmarkFigure4_Packaging runs the §4.2 packaging at both durations the
+// paper plots (paper: 1,364,476 workunits at 10 h; 3,599,937 at 4 h).
+func BenchmarkFigure4_Packaging(b *testing.B) {
+	s := system()
+	var c10, c4 int64
+	for i := 0; i < b.N; i++ {
+		c10 = s.Package(10).Count()
+		c4 = s.Package(4).Count()
+	}
+	b.ReportMetric(float64(c10), "wu-at-10h")
+	b.ReportMetric(float64(c4), "wu-at-4h")
+}
+
+// BenchmarkFigure6a_ProjectVFTP reports the weekly project VFTP of the
+// campaign simulation (paper: average 16,450; full-power 26,248).
+func BenchmarkFigure6a_ProjectVFTP(b *testing.B) {
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		rep = campaign()
+	}
+	b.ReportMetric(rep.AvgVFTPWhole, "avg-vftp")
+	b.ReportMetric(rep.AvgVFTPFullPower, "fullpower-vftp")
+	b.ReportMetric(rep.WeeksElapsed, "weeks")
+	if testing.Verbose() {
+		for i := 0; i < rep.HCMDVFTP.Len(); i++ {
+			b.Logf("week %2.0f: %8.0f VFTP (grid %8.0f)",
+				rep.HCMDVFTP.X[i], rep.HCMDVFTP.Y[i], rep.GridVFTP.Y[i])
+		}
+	}
+}
+
+// BenchmarkFigure6b_Results reports the result counts and redundancy
+// (paper: 5,418,010 received / 3,936,010 distinct = 1.37; 73 % useful).
+func BenchmarkFigure6b_Results(b *testing.B) {
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		rep = campaign()
+	}
+	b.ReportMetric(rep.ServerStats.RedundancyFactor(), "redundancy")
+	b.ReportMetric(rep.ServerStats.UsefulFraction()*100, "useful-pct")
+	b.ReportMetric(float64(rep.ServerStats.Received)/benchScale, "results-scaled")
+}
+
+// BenchmarkFigure7_Progression reports the per-protein progression
+// (paper at 05-02-07: 85 % of proteins docked = 47 % of the computation).
+func BenchmarkFigure7_Progression(b *testing.B) {
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		rep = campaign()
+	}
+	for _, sn := range rep.Snapshots {
+		if testing.Verbose() {
+			b.Logf("week %5.1f: %3.0f%% proteins, %3.0f%% work",
+				sn.Week, sn.ProteinsDoneFraction()*100, sn.OverallFraction*100)
+		}
+	}
+	if len(rep.Snapshots) >= 3 {
+		mid := rep.Snapshots[2]
+		b.ReportMetric(mid.ProteinsDoneFraction()*100, "w19-proteins-pct")
+		b.ReportMetric(mid.OverallFraction*100, "w19-work-pct")
+	}
+}
+
+// BenchmarkFigure8_RealWorkunits reports the deployed workunit duration
+// distribution (paper: bulk at 3-4 h on the reference CPU, mean 3 h 18 m;
+// observed mean on the grid ≈ 13 h ⇒ speed-down 3.96).
+func BenchmarkFigure8_RealWorkunits(b *testing.B) {
+	s := system()
+	var sum float64
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		pkg := s.Figure4(project.DeployedHHours)
+		sum = pkg.MeanSeconds / 3600
+		rep = campaign()
+	}
+	b.ReportMetric(sum, "packaged-mean-h")
+	b.ReportMetric(rep.MeanReportedH, "observed-mean-h")
+	b.ReportMetric(rep.SpeedDownObserved(sum), "speeddown")
+}
+
+// BenchmarkTable2_GridEquivalence converts the run's VFTP into dedicated
+// processors (paper: 16,450→3,029 and 26,248→4,833).
+func BenchmarkTable2_GridEquivalence(b *testing.B) {
+	var rows []vftp.EquivalenceRow
+	for i := 0; i < b.N; i++ {
+		rows = campaign().Table2()
+	}
+	b.ReportMetric(rows[0].Dedicated, "whole-dedicated")
+	b.ReportMetric(rows[1].Dedicated, "fullpower-dedicated")
+	// The paper's own inputs must give the exact published values.
+	paper := vftp.PaperTable2()
+	b.ReportMetric(paper[0].Dedicated, "paper-whole-dedicated")
+	b.ReportMetric(paper[1].Dedicated, "paper-fullpower-dedicated")
+}
+
+// BenchmarkTable3_PhaseII evaluates the §7 phase II plan (paper:
+// 1,444,998,719,637 s; 59,730 VFTP; 300,430 members).
+func BenchmarkTable3_PhaseII(b *testing.B) {
+	var fc forecast.Forecast
+	for i := 0; i < b.N; i++ {
+		fc = forecast.PaperForecast()
+	}
+	b.ReportMetric(fc.WorkRatio, "work-ratio")
+	b.ReportMetric(fc.VFTPII, "phase2-vftp")
+	b.ReportMetric(fc.MembersII, "phase2-members")
+}
+
+// BenchmarkSection7_Members reports the §7 text estimates (paper: ~90 weeks
+// at the phase I rate; ~1,300,000 members at a 25 % share).
+func BenchmarkSection7_Members(b *testing.B) {
+	var fc forecast.Forecast
+	for i := 0; i < b.N; i++ {
+		fc = forecast.PaperForecast()
+	}
+	b.ReportMetric(fc.WeeksAtPhaseIRate, "weeks-at-phase1-rate")
+	b.ReportMetric(fc.GridMembersNeeded, "members-needed")
+	b.ReportMetric(fc.NewMembersNeeded, "new-members")
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// ablationScale is smaller than benchScale: ablations run several campaigns.
+const ablationScale = 1.0 / 168
+
+func ablationConfig() project.Config {
+	return system().CampaignConfig(ablationScale, 0)
+}
+
+// BenchmarkAblationLaunchOrder compares completion under the three batch
+// release orders. Cheapest-first is the production policy.
+func BenchmarkAblationLaunchOrder(b *testing.B) {
+	var cheap, random, costly float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range []struct {
+			order project.LaunchOrder
+			out   *float64
+		}{
+			{project.CheapestFirst, &cheap},
+			{project.RandomOrder, &random},
+			{project.CostliestFirst, &costly},
+		} {
+			cfg := ablationConfig()
+			cfg.Order = c.order
+			rep := project.New(cfg).Run()
+			// Early-visibility criterion (§5.1): proteins fully docked at
+			// the first snapshot — the reason the team launched cheapest
+			// first.
+			*c.out = rep.Snapshots[0].ProteinsDoneFraction() * 100
+		}
+	}
+	b.ReportMetric(cheap, "cheapfirst-w13-proteins-pct")
+	b.ReportMetric(random, "random-w13-proteins-pct")
+	b.ReportMetric(costly, "costlyfirst-w13-proteins-pct")
+}
+
+// BenchmarkAblationWorkunitSize sweeps the wanted duration h: smaller
+// workunits mean more server transactions (§3.2), larger ones risk the
+// 10-hour volunteer patience budget.
+func BenchmarkAblationWorkunitSize(b *testing.B) {
+	s := system()
+	var counts [4]float64
+	hs := [4]float64{1, 4, 10, 24}
+	for i := 0; i < b.N; i++ {
+		for j, h := range hs {
+			counts[j] = float64(s.Package(h).Count())
+		}
+	}
+	b.ReportMetric(counts[0], "wu-1h")
+	b.ReportMetric(counts[1], "wu-4h")
+	b.ReportMetric(counts[2], "wu-10h")
+	b.ReportMetric(counts[3], "wu-24h")
+}
+
+// BenchmarkAblationRedundancy compares always-quorum-2 validation against
+// the deployed mid-project switch to value checks.
+func BenchmarkAblationRedundancy(b *testing.B) {
+	var deployed, always2 float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig()
+		deployed = project.New(cfg).Run().ServerStats.RedundancyFactor()
+
+		cfg2 := ablationConfig()
+		cfg2.Server = wcg.Config{InitialQuorum: 2, SteadyQuorum: 2, Deadline: cfg2.Server.Deadline}
+		always2 = project.New(cfg2).Run().ServerStats.RedundancyFactor()
+	}
+	b.ReportMetric(deployed, "deployed-redundancy")
+	b.ReportMetric(always2, "always-quorum2-redundancy")
+}
+
+// BenchmarkAblationSpeeddown removes the UD throttle factor from the host
+// population (§6 decomposition: the 60 % cap alone costs 1.67×).
+func BenchmarkAblationSpeeddown(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig()
+		with = project.New(cfg).Run().WeeksElapsed
+
+		cfg2 := ablationConfig()
+		cfg2.Host.MeanSpeedDown = volunteer.MeanSpeedDown / volunteer.UDThrottleFactor
+		without = project.New(cfg2).Run().WeeksElapsed
+	}
+	b.ReportMetric(with, "throttled-weeks")
+	b.ReportMetric(without, "unthrottled-weeks")
+}
+
+// BenchmarkAblationScheduler compares the volunteer grid against the ideal
+// dedicated scheduler on the same work (the §6 comparison executed, not
+// just accounted).
+func BenchmarkAblationScheduler(b *testing.B) {
+	var volunteerWeeks, dedicatedWeeks float64
+	for i := 0; i < b.N; i++ {
+		rep := campaign()
+		volunteerWeeks = rep.WeeksElapsed
+		// Same distinct work on the Table 2 dedicated equivalent.
+		procs := int(rep.Table2()[1].Dedicated * benchScale)
+		if procs < 1 {
+			procs = 1
+		}
+		cluster := grid.NewCluster(procs)
+		dedicatedWeeks = cluster.AnalyticMakespan(rep.TotalRefWork) / (7 * 86400)
+	}
+	b.ReportMetric(volunteerWeeks, "volunteer-weeks")
+	b.ReportMetric(dedicatedWeeks, "dedicated-weeks")
+}
+
+// BenchmarkKernelDock measures the docking kernel itself (one starting
+// position, one rotation group).
+func BenchmarkKernelDock(b *testing.B) {
+	ds := system().DS
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = docking.Dock(rec, lig, 1, 1, docking.MinimizeParams{MaxIter: 10, GammaSub: 2})
+	}
+}
+
+// BenchmarkFullCampaignScaled measures a whole scaled campaign simulation
+// per iteration (the cost of one Figure 6 regeneration).
+func BenchmarkFullCampaignScaled(b *testing.B) {
+	s := system()
+	for i := 0; i < b.N; i++ {
+		rep := s.RunCampaign(ablationScale, 0)
+		if !rep.Completed {
+			b.Fatal("campaign did not complete")
+		}
+	}
+}
+
+// BenchmarkAblationAccounting compares the §8 accounting modes: the UD
+// agent's wall-clock VFTP vs the BOINC agent's CPU-time VFTP for the same
+// physical campaign.
+func BenchmarkAblationAccounting(b *testing.B) {
+	var udVFTP, boincVFTP float64
+	for i := 0; i < b.N; i++ {
+		cfgUD := ablationConfig()
+		cfgUD.Host.Accounting = volunteer.UDWallClock
+		udVFTP = project.New(cfgUD).Run().AvgVFTPWhole
+
+		cfgB := ablationConfig()
+		cfgB.Host.Accounting = volunteer.BOINCCPUTime
+		boincVFTP = project.New(cfgB).Run().AvgVFTPWhole
+	}
+	b.ReportMetric(udVFTP, "ud-vftp")
+	b.ReportMetric(boincVFTP, "boinc-vftp")
+	if boincVFTP > 0 {
+		b.ReportMetric(udVFTP/boincVFTP, "accounting-ratio")
+	}
+}
+
+// BenchmarkPhaseIISimulated validates Table 3 dynamically: the phase II
+// workload on a constant 59,730-VFTP grid slice (paper prediction:
+// 40 weeks).
+func BenchmarkPhaseIISimulated(b *testing.B) {
+	var weeks float64
+	for i := 0; i < b.N; i++ {
+		weeks = system().SimulatePhaseII(1.0 / 168).WeeksElapsed
+	}
+	b.ReportMetric(weeks, "phase2-weeks")
+	b.ReportMetric(forecast.PaperForecast().WeeksII, "predicted-weeks")
+}
+
+// BenchmarkArchiveEstimate reproduces the §5.2 archive accounting (paper:
+// 123 GB of text, 45 GB compressed).
+func BenchmarkArchiveEstimate(b *testing.B) {
+	var text, compressed int64
+	for i := 0; i < b.N; i++ {
+		_, text, compressed = validate.EstimateArchive(system().DS)
+	}
+	b.ReportMetric(float64(text)/1e9, "text-GB")
+	b.ReportMetric(float64(compressed)/1e9, "compressed-GB")
+}
+
+// BenchmarkServerCapacity reproduces the §3.2 transaction-rate planning.
+func BenchmarkServerCapacity(b *testing.B) {
+	var load float64
+	cap := wcg.DefaultServerCapacity()
+	for i := 0; i < b.N; i++ {
+		count := system().Package(project.DeployedHHours).Count()
+		load = cap.LoadFor(count, vftp.PaperRedundancy, 26*7*86400)
+	}
+	b.ReportMetric(load, "tx-per-sec")
+}
+
+// BenchmarkAblationWorkBuffer sweeps the agent's work-cache depth: deeper
+// buffers increase task turnaround and timeout-driven redundancy.
+func BenchmarkAblationWorkBuffer(b *testing.B) {
+	var red1, red8 float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig()
+		cfg.Host.WorkBuffer = 1
+		red1 = project.New(cfg).Run().ServerStats.RedundancyFactor()
+
+		cfg8 := ablationConfig()
+		cfg8.Host.WorkBuffer = 8
+		red8 = project.New(cfg8).Run().ServerStats.RedundancyFactor()
+	}
+	b.ReportMetric(red1, "buffer1-redundancy")
+	b.ReportMetric(red8, "buffer8-redundancy")
+}

@@ -1,0 +1,168 @@
+// Command hcmdsim runs the full HCMD phase I reproduction: it assembles the
+// benchmark, calibrates the cost matrix, packages workunits, simulates the
+// campaign on the volunteer grid, and prints every table and figure of the
+// paper. With -outdir it also writes the figure series as CSV files.
+//
+// Usage:
+//
+//	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S]
+//
+// The default scale (1/84) finishes in seconds; -scale 1 simulates the full
+// 3.9-million-workunit campaign (minutes, several GB of events).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/project"
+	"repro/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/84, "work and host scale (0 < s <= 1)")
+	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
+	outdir := flag.String("outdir", "", "directory for CSV figure series (optional)")
+	fig1Days := flag.Int("fig1days", 3*364, "days of grid history for Figure 1")
+	flag.Parse()
+
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "hcmdsim: -scale must be in (0, 1]")
+		os.Exit(2)
+	}
+
+	sys := core.NewHCMD()
+
+	fmt.Println("== HCMD phase I planning ==")
+	fmt.Printf("proteins: %d, ΣNsep = %s, generatable workunits = %s\n",
+		sys.DS.Len(), report.Comma(float64(sys.DS.SumNsep())), report.Comma(float64(sys.DS.Instances())))
+	total := sys.TotalWork()
+	fmt.Printf("formula (1) total work: %s (y:d:h:m:s) on the reference CPU (paper: 1,488:237:19:45:54)\n",
+		report.FormatYDHMS(total))
+
+	s := sys.Table1()
+	t1 := report.NewTable("Table 1: computation-time matrix statistics (s)",
+		"average", "standard deviation", "min", "max", "median")
+	t1.AddRow(fmt.Sprintf("%.0f", s.Mean), fmt.Sprintf("%.2f", s.Std),
+		fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Max), fmt.Sprintf("%.0f", s.Median))
+	fmt.Println()
+	fmt.Print(t1.String())
+
+	fmt.Println("\n== Figure 4: workunit packaging ==")
+	for _, h := range []float64{10, 4} {
+		sum := sys.Figure4(h)
+		fmt.Printf("wanted %v h: %s workunits, mean %.2f h\n",
+			h, report.Comma(float64(sum.Count)), sum.MeanSeconds/3600)
+	}
+
+	fmt.Printf("\n== Campaign simulation (scale %.5f) ==\n", *scale)
+	rep := sys.RunCampaign(*scale, *hours)
+	fmt.Printf("completed: %v in %.0f weeks (paper: 26)\n", rep.Completed, rep.WeeksElapsed)
+	fmt.Printf("results received: %s (distinct %s) — redundancy %.2f (paper 1.37), useful %.0f%% (paper 73%%)\n",
+		report.Comma(float64(rep.ServerStats.Received) / *scale),
+		report.Comma(float64(rep.ServerStats.Completed) / *scale),
+		rep.ServerStats.RedundancyFactor(), rep.ServerStats.UsefulFraction()*100)
+	fmt.Printf("consumed CPU: %s — total factor %.2f (paper 5.43), net speed-down %.2f (paper 3.96)\n",
+		report.FormatYDHMS(rep.ServerStats.CPUSeconds / *scale),
+		rep.TotalFactor(), rep.TotalFactor()/rep.ServerStats.RedundancyFactor())
+	fmt.Printf("mean reported workunit time: %.1f h (paper ≈ 13 h)\n", rep.MeanReportedH)
+	fmt.Printf("VFTP: whole period %.0f (paper 16,450), full power %.0f (paper 26,248)\n",
+		rep.AvgVFTPWhole, rep.AvgVFTPFullPower)
+
+	fmt.Println("\n== Figure 7: progression snapshots ==")
+	for _, sn := range rep.Snapshots {
+		fmt.Printf("week %5.1f: %3.0f%% of proteins docked, %3.0f%% of computation done\n",
+			sn.Week, sn.ProteinsDoneFraction()*100, sn.OverallFraction*100)
+	}
+
+	fmt.Println("\n== Table 2: volunteer vs dedicated grid ==")
+	t2 := report.NewTable("", "Grid", "whole period", "full power working phase")
+	rows := rep.Table2()
+	t2.AddRow("World Community Grid", report.Comma(rows[0].Volunteer), report.Comma(rows[1].Volunteer))
+	t2.AddRow("Dedicated Grid", report.Comma(rows[0].Dedicated), report.Comma(rows[1].Dedicated))
+	fmt.Print(t2.String())
+
+	fmt.Println("\n== Table 3: phase II evaluation ==")
+	fc := sys.ForecastPhaseII()
+	t3 := report.NewTable("", "", "HCMD phase I", "HCMD phase II")
+	for _, r := range fc.Table3() {
+		t3.AddRow(r.Label, report.Comma(r.PhaseI), report.Comma(r.PhaseII))
+	}
+	fmt.Print(t3.String())
+	fmt.Printf("at the phase I rate: %.0f weeks; members needed at 25%% share: %s (%s new)\n",
+		fc.WeeksAtPhaseIRate, report.Comma(fc.GridMembersNeeded), report.Comma(fc.NewMembersNeeded))
+
+	if *outdir != "" {
+		if err := writeCSVs(sys, rep, *outdir, *fig1Days); err != nil {
+			fmt.Fprintf(os.Stderr, "hcmdsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCSV series written to %s\n", *outdir)
+	}
+}
+
+// writeCSVs emits one CSV per figure.
+func writeCSVs(sys *core.System, rep *project.Report, dir string, fig1Days int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("figure1_grid_vftp.csv", func(f *os.File) error {
+		return report.WriteSeriesCSV(f, "day", sys.Figure1(fig1Days))
+	}); err != nil {
+		return err
+	}
+	if err := write("figure2_nsep_hist.csv", func(f *os.File) error {
+		return report.WriteHistogramCSV(f, sys.Figure2())
+	}); err != nil {
+		return err
+	}
+	for _, h := range []float64{10, 4} {
+		h := h
+		name := fmt.Sprintf("figure4_workunits_h%d.csv", int(h))
+		if err := write(name, func(f *os.File) error {
+			return report.WriteHistogramCSV(f, sys.Figure4(h).Hist)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := write("figure6a_vftp.csv", func(f *os.File) error {
+		return report.WriteSeriesCSV(f, "week", rep.HCMDVFTP, rep.GridVFTP)
+	}); err != nil {
+		return err
+	}
+	if err := write("figure6b_results.csv", func(f *os.File) error {
+		return report.WriteSeriesCSV(f, "week", rep.ResultsWeek)
+	}); err != nil {
+		return err
+	}
+	if err := write("figure8_reported_hours.csv", func(f *os.File) error {
+		return report.WriteHistogramCSV(f, rep.ReportedHours)
+	}); err != nil {
+		return err
+	}
+	for i, sn := range rep.Snapshots {
+		sn := sn
+		name := fmt.Sprintf("figure7_progression_w%02.0f_%d.csv", sn.Week, i)
+		if err := write(name, func(f *os.File) error {
+			fmt.Fprintln(f, "protein_rank,fraction_done")
+			for rank, frac := range sn.PerBatch {
+				fmt.Fprintf(f, "%d,%.4f\n", rank, frac)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

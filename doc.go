@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Large Scale Execution
+// of a Bioinformatic Application on a Volunteer Grid" (Bertis, Bolze,
+// Desprez, Reed — LIP RR-2007-49 / IPPS 2008): the Help Cure Muscular
+// Dystrophy phase I campaign on World Community Grid.
+//
+// The public entry point is internal/core; the benchmark harness that
+// regenerates every table and figure of the paper lives in bench_test.go
+// (go test -bench=.). See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

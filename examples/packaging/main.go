@@ -1,0 +1,31 @@
+// Packaging example: reproduce Figure 4 — how the wanted workunit duration
+// trades the number of workunits against the server transaction rate (§3.2,
+// §4.2) — by sweeping the wanted duration.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	sys := core.NewHCMD()
+
+	fmt.Println("Figure 4 sweep: workunit count vs wanted duration")
+	fmt.Printf("%8s %14s %12s %22s\n", "h (hours)", "workunits", "mean (h)", "server tx/s at 26 wks")
+	for _, h := range []float64{1, 2, 4, 6, 8, 10, 14, 24} {
+		sum := sys.Figure4(h)
+		// Each workunit costs ~2 server transactions (fetch + report);
+		// redundancy adds ~37 %. Spread over the 26-week campaign:
+		tx := float64(sum.Count) * 2 * 1.37 / (26 * 7 * 86400)
+		fmt.Printf("%8.0f %14s %12.2f %22.2f\n",
+			h, report.Comma(float64(sum.Count)), sum.MeanSeconds/3600, tx)
+	}
+
+	fmt.Println("\nFigure 4(a): duration histogram at h = 10 (paper: 1,364,476 workunits)")
+	fmt.Print(sys.Figure4(10).Hist.String())
+	fmt.Println("\nFigure 4(b): duration histogram at h = 4 (paper: 3,599,937 workunits)")
+	fmt.Print(sys.Figure4(4).Hist.String())
+}

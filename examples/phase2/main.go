@@ -1,0 +1,47 @@
+// Phase II example: reproduce Table 3 and explore the §7 what-if space —
+// how the needed grid capacity moves with the protein count, the
+// docking-point reduction and the deadline.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+	"repro/internal/report"
+)
+
+func main() {
+	// The paper's Table 3.
+	fc := forecast.PaperForecast()
+	t := report.NewTable("Table 3: evaluation of the HCMD phase II",
+		"", "HCMD phase I", "HCMD phase II")
+	for _, r := range fc.Table3() {
+		t.AddRow(r.Label, report.Comma(r.PhaseI), report.Comma(r.PhaseII))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nat the phase I rate: %.0f weeks (paper: ~90, '1 year and 9 months')\n",
+		fc.WeeksAtPhaseIRate)
+	fmt.Printf("members for a 40-week phase II at 25%% share: %s (%s new)\n\n",
+		report.Comma(fc.GridMembersNeeded), report.Comma(fc.NewMembersNeeded))
+
+	// What-if: deadline sweep.
+	fmt.Println("deadline sweep (4,000 proteins, ÷100 points):")
+	fmt.Printf("%8s %12s %16s\n", "weeks", "VFTP", "members @25%")
+	for _, weeks := range []float64{20, 30, 40, 52, 90} {
+		f := forecast.Estimate(forecast.PaperPhaseI(), forecast.PhaseIIPlan{
+			Proteins: 4000, PointsReduction: 100, TargetWeeks: weeks, GridShare: 0.25,
+		})
+		fmt.Printf("%8.0f %12s %16s\n", weeks, report.Comma(f.VFTPII), report.Comma(f.GridMembersNeeded))
+	}
+
+	// What-if: how far does the point reduction have to go for phase II to
+	// fit in 26 weeks with phase I's own capacity?
+	fmt.Println("\npoint-reduction sweep (40-week target):")
+	fmt.Printf("%12s %10s %12s\n", "reduction", "work×", "VFTP")
+	for _, red := range []float64{50, 100, 200, 400} {
+		f := forecast.Estimate(forecast.PaperPhaseI(), forecast.PhaseIIPlan{
+			Proteins: 4000, PointsReduction: red, TargetWeeks: 40, GridShare: 0.25,
+		})
+		fmt.Printf("%12.0f %10.2f %12s\n", red, f.WorkRatio, report.Comma(f.VFTPII))
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/docking"
+	"repro/internal/forecast"
+)
+
+var hcmd = NewHCMD() // shared across tests; System is read-only after build
+
+func TestNewHCMDShape(t *testing.T) {
+	if hcmd.DS.Len() != 168 {
+		t.Fatalf("dataset size %d", hcmd.DS.Len())
+	}
+	if got := hcmd.TotalWork(); math.Abs(got-costmodel.PaperTotalSeconds)/costmodel.PaperTotalSeconds > 1e-3 {
+		t.Fatalf("total work %.3g", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := hcmd.Table1()
+	if math.Abs(s.Mean-671) > 0.1 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	h := hcmd.Figure2()
+	if h.Total() != 168 {
+		t.Fatalf("histogram mass %d", h.Total())
+	}
+	// The outlier beyond 8,000 must be in the last bins, the bulk below
+	// 3,000 in the first third.
+	var below3000 int
+	for i, c := range h.Bins {
+		if h.BinLow(i) < 3000 {
+			below3000 += c
+		}
+	}
+	if below3000 < 130 {
+		t.Fatalf("only %d proteins below 3,000", below3000)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	rep := hcmd.Figure3(0, 1)
+	if rep.NrotR < 0.99 || rep.NsepR < 0.99 {
+		t.Fatalf("linearity broken: %+v", rep)
+	}
+}
+
+func TestFigure4Counts(t *testing.T) {
+	// Figure 4: 1,364,476 workunits at h=10; 3,599,937 at h=4. Accept ±3%.
+	s10 := hcmd.Figure4(10)
+	if math.Abs(float64(s10.Count)-1364476)/1364476 > 0.03 {
+		t.Fatalf("h=10 count %d, want ≈ 1,364,476", s10.Count)
+	}
+	s4 := hcmd.Figure4(4)
+	if math.Abs(float64(s4.Count)-3599937)/3599937 > 0.03 {
+		t.Fatalf("h=4 count %d, want ≈ 3,599,937", s4.Count)
+	}
+	// Conservation: both slicings carry the same total work.
+	if math.Abs(s10.TotalSeconds-s4.TotalSeconds) > 1 {
+		t.Fatal("packaging changed the total work")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	s := hcmd.Figure1(365)
+	if s.Len() != 365 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestRunCampaignSmall(t *testing.T) {
+	rep := hcmd.RunCampaign(1.0/168, 0)
+	if !rep.Completed {
+		t.Fatal("scaled campaign did not complete")
+	}
+	if rep.WeeksElapsed < 15 || rep.WeeksElapsed > 45 {
+		t.Fatalf("weeks %.1f", rep.WeeksElapsed)
+	}
+}
+
+func TestDedicatedEquivalent(t *testing.T) {
+	if got := hcmd.DedicatedEquivalent(16450); math.Abs(got-3029) > 1 {
+		t.Fatalf("equivalent %v", got)
+	}
+}
+
+func TestDedicatedMakespan(t *testing.T) {
+	// On 4,833 dedicated processors (Table 2 full-power equivalent) the
+	// whole campaign takes total/4833 seconds ≈ 16 weeks — consistent with
+	// the full-power phase duration.
+	weeks := hcmd.DedicatedMakespan(4833) / (7 * 86400)
+	if weeks < 10 || weeks > 25 {
+		t.Fatalf("dedicated makespan %.1f weeks, want ≈ 16", weeks)
+	}
+}
+
+func TestForecastPhaseII(t *testing.T) {
+	fc := hcmd.ForecastPhaseII()
+	if math.Abs(fc.VFTPII-59730) > 2 {
+		t.Fatalf("phase II VFTP %v", fc.VFTPII)
+	}
+}
+
+func TestForecastFromRun(t *testing.T) {
+	rep := hcmd.RunCampaign(1.0/168, 0)
+	fc := hcmd.ForecastFromRun(rep, forecast.PaperPhaseIIPlan())
+	// Shape: phase II needs tens of thousands of VFTP.
+	if fc.VFTPII < 20000 || fc.VFTPII > 150000 {
+		t.Fatalf("VFTP II %v", fc.VFTPII)
+	}
+	if fc.WorkRatio < 5.6 || fc.WorkRatio > 5.8 {
+		t.Fatalf("work ratio %v", fc.WorkRatio)
+	}
+}
+
+func TestDockCouple(t *testing.T) {
+	res := hcmd.DockCouple(0, 1, 1, 2, docking.MinimizeParams{MaxIter: 4, GammaSub: 1})
+	if len(res) != 2*21 {
+		t.Fatalf("results %d", len(res))
+	}
+}
+
+func TestNewScaled(t *testing.T) {
+	s := NewScaled(12, 7)
+	if s.DS.Len() != 12 {
+		t.Fatalf("len %d", s.DS.Len())
+	}
+	if s.TotalWork() <= 0 {
+		t.Fatal("no work")
+	}
+}
+
+func TestCampaignConfigOverrides(t *testing.T) {
+	cfg := hcmd.CampaignConfig(0.5, 8)
+	if cfg.WorkScale != 0.5 || cfg.HostScale != 0.5 {
+		t.Fatalf("scale not applied: %+v", cfg)
+	}
+	if cfg.HHours != 8 {
+		t.Fatalf("hHours not applied: %v", cfg.HHours)
+	}
+	// Zero values keep defaults.
+	cfg = hcmd.CampaignConfig(0, 0)
+	if cfg.WorkScale != 1 || cfg.HHours <= 0 {
+		t.Fatalf("defaults broken: %+v", cfg)
+	}
+}
+
+func TestPhaseIIConfigShape(t *testing.T) {
+	cfg := hcmd.PhaseIIConfig(1.0 / 168)
+	// The phase II matrix carries PhaseIIRatio× the phase I work.
+	got := cfg.M.TotalWork(hcmd.DS)
+	want := costmodel.PaperTotalSeconds * PhaseIIRatio
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("phase II total %.3g, want %.3g", got, want)
+	}
+	// Flat grid at the Table 3 operating point.
+	if cfg.Grid.VFTPAt(0) != 59730 || cfg.Grid.VFTPAt(100) != 59730 {
+		t.Fatalf("phase II grid not flat: %v", cfg.Grid)
+	}
+	if cfg.WorkScale != 1.0/168 || cfg.HostScale != 1.0/168 {
+		t.Fatalf("scale not applied: %+v", cfg)
+	}
+}
+
+func TestSimulatePhaseIICompletes(t *testing.T) {
+	rep := hcmd.SimulatePhaseII(1.0 / 168)
+	if !rep.Completed {
+		t.Fatal("phase II did not complete")
+	}
+	if rep.WeeksElapsed < 28 || rep.WeeksElapsed > 56 {
+		t.Fatalf("phase II took %.0f weeks, §7 predicts 40", rep.WeeksElapsed)
+	}
+}
+
+func TestForecastFromRunShortCampaign(t *testing.T) {
+	// A run shorter than control+ramp weeks falls back to the whole
+	// duration as the normalization window.
+	rep := hcmd.RunCampaign(1.0/168, 0)
+	saved := rep.Config.ControlWeeks
+	rep.Config.ControlWeeks = rep.WeeksElapsed + 10
+	fc := hcmd.ForecastFromRun(rep, forecast.PaperPhaseIIPlan())
+	if fc.VFTPII <= 0 {
+		t.Fatal("fallback normalization produced no estimate")
+	}
+	rep.Config.ControlWeeks = saved
+}

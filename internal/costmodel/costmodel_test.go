@@ -1,0 +1,271 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/docking"
+	"repro/internal/protein"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func hcmd(t testing.TB) (*protein.Dataset, *Matrix) {
+	t.Helper()
+	ds := protein.HCMD168()
+	return ds, SynthesizeHCMD(ds)
+}
+
+func TestSynthesizedMeanExact(t *testing.T) {
+	_, m := hcmd(t)
+	s := m.Stats()
+	if math.Abs(s.Mean-Table1.Mean) > 0.01 {
+		t.Fatalf("mean = %v, want %v (Table 1)", s.Mean, Table1.Mean)
+	}
+	if s.N != 168*168 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestSynthesizedTable1Bands(t *testing.T) {
+	_, m := hcmd(t)
+	s := m.Stats()
+	// The generative model is calibrated to the paper's lognormal shape;
+	// the sample statistics must land near Table 1.
+	if s.Median < Table1.Median*0.75 || s.Median > Table1.Median*1.3 {
+		t.Errorf("median = %v, want ≈ %v", s.Median, Table1.Median)
+	}
+	if s.Std < Table1.Std*0.6 || s.Std > Table1.Std*1.6 {
+		t.Errorf("std = %v, want ≈ %v", s.Std, Table1.Std)
+	}
+	if s.Min > 30 {
+		t.Errorf("min = %v, want single-digit-ish (Table 1: 6)", s.Min)
+	}
+	if s.Max < 10000 || s.Max > 150000 {
+		t.Errorf("max = %v, want heavy tail ≈ 46,347", s.Max)
+	}
+}
+
+func TestTotalWorkMatchesFormula1(t *testing.T) {
+	ds, m := hcmd(t)
+	total := m.TotalWork(ds)
+	if math.Abs(total-PaperTotalSeconds)/PaperTotalSeconds > 1e-4 {
+		t.Fatalf("total work = %.0f s, want %d s (1488 y 237 d 19:45:54)", total, int64(PaperTotalSeconds))
+	}
+}
+
+func TestPaperTotalConstant(t *testing.T) {
+	if PaperTotalSeconds != 46946115954 {
+		t.Fatalf("PaperTotalSeconds = %d", int64(PaperTotalSeconds))
+	}
+}
+
+func TestTopShareHeavyTail(t *testing.T) {
+	ds, m := hcmd(t)
+	count, covered := m.TopShare(ds, 0.30)
+	// Paper: "there are 10 proteins which represent 30% of the total
+	// processing time". Allow a band around 10.
+	if count < 4 || count > 25 {
+		t.Fatalf("top-30%% proteins = %d (covered %.2f), want ≈ 10", count, covered)
+	}
+	if covered < 0.30 {
+		t.Fatalf("covered %v < 0.30", covered)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	ds := protein.HCMD168()
+	a := SynthesizeHCMD(ds)
+	b := SynthesizeHCMD(ds)
+	for k, v := range a.Values() {
+		if b.Values()[k] != v {
+			t.Fatalf("entry %d differs", k)
+		}
+	}
+}
+
+func TestSynthesizeSmallDataset(t *testing.T) {
+	ds := protein.Generate(12, 99)
+	m := Synthesize(ds, SynthesizeOptions{Seed: 5})
+	s := m.Stats()
+	if math.Abs(s.Mean-Table1.Mean) > 0.1 {
+		t.Fatalf("small-set mean = %v", s.Mean)
+	}
+	// Target total scales with dataset size.
+	wantTotal := float64(PaperTotalSeconds) * float64(ds.SumNsep()) / float64(protein.TotalNsep) * 12.0 / 168.0
+	if got := m.TotalWork(ds); math.Abs(got-wantTotal)/wantTotal > 1e-3 {
+		t.Fatalf("small-set total = %v, want %v", got, wantTotal)
+	}
+}
+
+func TestSynthesizeCustomTargets(t *testing.T) {
+	ds := protein.Generate(10, 3)
+	// A target ~40% above the uncorrelated baseline, the same regime the
+	// full calibration works in.
+	uncorrelated := float64(ds.Len()*ds.SumNsep()) * 100
+	target := uncorrelated * 1.4
+	m := Synthesize(ds, SynthesizeOptions{Seed: 1, MeanSeconds: 100, TargetTotal: target})
+	if math.Abs(m.Stats().Mean-100) > 0.01 {
+		t.Fatalf("custom mean = %v", m.Stats().Mean)
+	}
+	if got := m.TotalWork(ds); math.Abs(got-target)/target > 1e-3 {
+		t.Fatalf("custom total = %v, want %v", got, target)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 || m.At(2, 1) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	if len(m.Values()) != 9 {
+		t.Fatal("Values length")
+	}
+}
+
+func TestMatrixSetRejectsInvalid(t *testing.T) {
+	m := NewMatrix(2)
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%v) should panic", v)
+				}
+			}()
+			m.Set(0, 0, v)
+		}()
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	ds := protein.Generate(3, 1)
+	m := NewMatrix(4)
+	for i, f := range []func(){
+		func() { m.TotalWork(ds) },
+		func() { m.ReceptorCost(ds) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeasureMatrixPositive(t *testing.T) {
+	ds := protein.Generate(5, 8)
+	m := Measure(ds, docking.MinimizeParams{})
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) <= 0 {
+				t.Fatalf("measured cost (%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMeasuredCostGrowsWithSize(t *testing.T) {
+	ds := protein.HCMD168()
+	small, large := ds.Proteins[0], ds.Proteins[0]
+	for _, p := range ds.Proteins {
+		if p.Nsep < small.Nsep {
+			small = p
+		}
+		if p.Nsep > large.Nsep {
+			large = p
+		}
+	}
+	cSmall := MeasureCouple(small, small, protein.NRotWorkunit, docking.MinimizeParams{})
+	cLarge := MeasureCouple(large, large, protein.NRotWorkunit, docking.MinimizeParams{})
+	if cLarge <= cSmall {
+		t.Fatalf("cost does not grow with protein size: %v vs %v", cSmall, cLarge)
+	}
+}
+
+func TestKernelOpsLinearInNrot(t *testing.T) {
+	ds := protein.Generate(2, 4)
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	base := KernelOps(rec, lig, 1, docking.MinimizeParams{})
+	for nrot := 2; nrot <= 21; nrot++ {
+		if got := KernelOps(rec, lig, nrot, docking.MinimizeParams{}); math.Abs(got-base*float64(nrot)) > 1e-6 {
+			t.Fatalf("ops(%d) = %v, want %v", nrot, got, base*float64(nrot))
+		}
+	}
+}
+
+func TestVerifyLinearityFigure3(t *testing.T) {
+	ds := protein.Generate(4, 21)
+	rep := VerifyLinearity(ds.Proteins[0], ds.Proteins[1], docking.MinimizeParams{})
+	// Paper: correlation coefficient "always around 0.99"; our kernel is
+	// exactly linear so the fit should be essentially perfect.
+	if rep.NrotR < 0.99 {
+		t.Fatalf("Nrot correlation %v < 0.99", rep.NrotR)
+	}
+	if rep.NsepR < 0.99 {
+		t.Fatalf("Nsep correlation %v < 0.99", rep.NsepR)
+	}
+	if rep.NrotFit.R2 < 0.999 || rep.NsepFit.R2 < 0.999 {
+		t.Fatalf("fits not linear: %+v", rep)
+	}
+	// The paper simplifies to b = 0: intercepts must be negligible next to
+	// the full-sweep cost.
+	full := MeasureCouple(ds.Proteins[0], ds.Proteins[1], protein.NRotWorkunit, docking.MinimizeParams{})
+	if math.Abs(rep.NrotFit.B) > 0.01*full {
+		t.Fatalf("Nrot intercept %v not ≈ 0 (full sweep %v)", rep.NrotFit.B, full)
+	}
+}
+
+func TestReceptorCostMatchesTotal(t *testing.T) {
+	ds, m := hcmd(t)
+	per := m.ReceptorCost(ds)
+	if math.Abs(stats.Sum(per)-m.TotalWork(ds)) > 1 {
+		t.Fatal("per-receptor costs do not sum to total work")
+	}
+}
+
+func BenchmarkSynthesizeHCMD(b *testing.B) {
+	ds := protein.HCMD168()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SynthesizeHCMD(ds)
+	}
+}
+
+func BenchmarkTotalWork(b *testing.B) {
+	ds := protein.HCMD168()
+	m := SynthesizeHCMD(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TotalWork(ds)
+	}
+}
+
+// TestSynthesizedDistributionShape quantifies the Table 1 calibration with
+// a KS distance against the target log-normal (median 384 s, the sigma
+// implied by the paper's mean/median ratio).
+func TestSynthesizedDistributionShape(t *testing.T) {
+	_, m := hcmd(t)
+	r := rng.New(12345)
+	sigma := math.Sqrt(2 * math.Log(Table1.Mean/Table1.Median))
+	ref := make([]float64, len(m.Values()))
+	for i := range ref {
+		ref[i] = Table1.Median * math.Exp(r.Normal(0, sigma))
+	}
+	d := stats.KolmogorovSmirnov(m.Values(), ref)
+	if d > 0.08 {
+		t.Fatalf("KS distance to the Table 1 log-normal = %.3f, want < 0.08", d)
+	}
+}

@@ -1,0 +1,170 @@
+// Package credit implements the points-based accounting the paper's
+// conclusion proposes as a middleware-independent alternative to run-time
+// based virtual full-time processors.
+//
+// "Points represent the amount of work done by a computer to compute a
+// result and are based on the run time for that result multiplied by a
+// weight factor determined by running a benchmark on the agent. This
+// approach should reduce the differences between each platform therefore be
+// more middleware independent. This approach should also allow us to
+// observe the trend toward more powerful processors in desktop computers."
+//
+// A device's weight is its benchmark score relative to the reference
+// processor; points for a result are reported run time × weight. Because
+// the weight cancels the device's slowness, points measure delivered
+// reference work — insensitive to whether the agent counted wall-clock
+// (UD) or process CPU time (BOINC), as long as the benchmark ran under the
+// same accounting.
+package credit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ReferenceScore is the benchmark score of the reference processor
+// (Opteron 2 GHz); a device scoring half of this earns half the points per
+// reported hour.
+const ReferenceScore = 100.0
+
+// Device is one volunteer machine from the accounting point of view.
+type Device struct {
+	ID       int
+	Score    float64 // benchmark score (ReferenceScore = reference CPU)
+	JoinedAt float64 // seconds since grid launch
+}
+
+// Weight returns the device's points weight.
+func (d Device) Weight() float64 {
+	if d.Score <= 0 {
+		panic(fmt.Sprintf("credit: device %d has non-positive score %v", d.ID, d.Score))
+	}
+	return d.Score / ReferenceScore
+}
+
+// Result is one returned workunit result from the accounting point of view.
+type Result struct {
+	Device     int
+	ReportedS  float64 // run time the agent reported, seconds
+	EffectiveS float64 // reference-CPU seconds of useful work in the result
+	At         float64 // completion time, seconds since grid launch
+}
+
+// Ledger accumulates points per device and over time.
+type Ledger struct {
+	devices map[int]Device
+	points  map[int]float64
+	total   float64
+	weekly  map[int]float64
+	// reported run time total, for the VFTP comparison
+	reportedS float64
+}
+
+// NewLedger creates an empty points ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		devices: make(map[int]Device),
+		points:  make(map[int]float64),
+		weekly:  make(map[int]float64),
+	}
+}
+
+// Register adds (or updates) a device.
+func (l *Ledger) Register(d Device) {
+	d.Weight() // validate
+	l.devices[d.ID] = d
+}
+
+// PointsPerSecond is the points a reference processor earns per reported
+// second — an arbitrary unit chosen so one reference-hour ≈ 1 point.
+const PointsPerSecond = 1.0 / 3600
+
+// Credit grants points for a result: reported time × device weight.
+// It returns the points granted and an error if the device is unknown.
+func (l *Ledger) Credit(r Result) (float64, error) {
+	d, ok := l.devices[r.Device]
+	if !ok {
+		return 0, fmt.Errorf("credit: unknown device %d", r.Device)
+	}
+	if r.ReportedS < 0 {
+		return 0, fmt.Errorf("credit: negative reported time %v", r.ReportedS)
+	}
+	pts := r.ReportedS * d.Weight() * PointsPerSecond
+	l.points[r.Device] += pts
+	l.total += pts
+	l.reportedS += r.ReportedS
+	week := int(r.At / (7 * 86400))
+	l.weekly[week] += pts
+	return pts, nil
+}
+
+// Total returns all points granted.
+func (l *Ledger) Total() float64 { return l.total }
+
+// DevicePoints returns the points of one device.
+func (l *Ledger) DevicePoints(id int) float64 { return l.points[id] }
+
+// WeeklySeries returns points per week as a series over [0, maxWeek].
+func (l *Ledger) WeeklySeries(maxWeek int) *stats.Series {
+	s := stats.NewSeries("points-per-week")
+	for w := 0; w <= maxWeek; w++ {
+		s.Add(float64(w), l.weekly[w])
+	}
+	return s
+}
+
+// PointsVFTP converts a week's points into point-based virtual full-time
+// processors: the number of reference processors that would earn those
+// points computing full time — the middleware-independent VFTP variant of
+// the conclusion.
+func PointsVFTP(weekPoints float64) float64 {
+	return weekPoints / (7 * 86400 * PointsPerSecond)
+}
+
+// RuntimeVFTP converts a week's reported run time into the paper's §3.1
+// run-time-based VFTP.
+func RuntimeVFTP(weekReportedSeconds float64) float64 {
+	return weekReportedSeconds / (7 * 86400)
+}
+
+// AccountingBias compares the two metrics over the whole ledger: how much
+// the run-time VFTP overstates the points VFTP. For a fleet of devices
+// slower than the reference, run-time VFTP counts a slow hour the same as a
+// fast one, so the bias is the reported-time-weighted mean of 1/weight.
+func (l *Ledger) AccountingBias() float64 {
+	if l.total == 0 {
+		return math.NaN()
+	}
+	// reported seconds per point-second:
+	return l.reportedS * PointsPerSecond / l.total
+}
+
+// PowerTrend fits a line to device benchmark scores against their join
+// times (in weeks): the conclusion's "trend toward more powerful processors
+// in desktop computers". Returns the score gained per week and the fit.
+func (l *Ledger) PowerTrend() (perWeek float64, fit stats.LinearFit, ok bool) {
+	if len(l.devices) < 2 {
+		return 0, stats.LinearFit{}, false
+	}
+	xs := make([]float64, 0, len(l.devices))
+	ys := make([]float64, 0, len(l.devices))
+	for _, d := range l.devices {
+		xs = append(xs, d.JoinedAt/(7*86400))
+		ys = append(ys, d.Score)
+	}
+	// Guard against a degenerate same-join-time population.
+	allSame := true
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return 0, stats.LinearFit{}, false
+	}
+	fit = stats.FitLine(xs, ys)
+	return fit.A, fit, true
+}

@@ -1,0 +1,175 @@
+package credit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWeight(t *testing.T) {
+	d := Device{ID: 1, Score: 50}
+	if d.Weight() != 0.5 {
+		t.Fatalf("weight = %v", d.Weight())
+	}
+	ref := Device{ID: 2, Score: ReferenceScore}
+	if ref.Weight() != 1 {
+		t.Fatalf("reference weight = %v", ref.Weight())
+	}
+}
+
+func TestWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Device{ID: 1, Score: 0}.Weight()
+}
+
+func TestCreditGrants(t *testing.T) {
+	l := NewLedger()
+	l.Register(Device{ID: 1, Score: ReferenceScore})
+	pts, err := l.Credit(Result{Device: 1, ReportedS: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One reference hour = one point.
+	if math.Abs(pts-1) > 1e-12 {
+		t.Fatalf("points = %v", pts)
+	}
+	if l.Total() != pts || l.DevicePoints(1) != pts {
+		t.Fatal("ledger totals wrong")
+	}
+}
+
+func TestCreditCancelsDeviceSpeed(t *testing.T) {
+	// A half-speed device reporting twice the time earns the same points:
+	// points measure delivered reference work.
+	l := NewLedger()
+	l.Register(Device{ID: 1, Score: ReferenceScore})
+	l.Register(Device{ID: 2, Score: ReferenceScore / 2})
+	fast, _ := l.Credit(Result{Device: 1, ReportedS: 3600})
+	slow, _ := l.Credit(Result{Device: 2, ReportedS: 7200})
+	if math.Abs(fast-slow) > 1e-12 {
+		t.Fatalf("points differ: %v vs %v", fast, slow)
+	}
+}
+
+func TestCreditErrors(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.Credit(Result{Device: 9, ReportedS: 1}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	l.Register(Device{ID: 1, Score: 100})
+	if _, err := l.Credit(Result{Device: 1, ReportedS: -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestWeeklySeries(t *testing.T) {
+	l := NewLedger()
+	l.Register(Device{ID: 1, Score: 100})
+	l.Credit(Result{Device: 1, ReportedS: 3600, At: 0})
+	l.Credit(Result{Device: 1, ReportedS: 3600, At: 8 * 86400})
+	s := l.WeeklySeries(2)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Y[0] != 1 || s.Y[1] != 1 || s.Y[2] != 0 {
+		t.Fatalf("weekly = %v", s.Y)
+	}
+}
+
+func TestPointsVFTPRoundTrip(t *testing.T) {
+	// A reference processor computing full time for a week earns
+	// 7·86400·PointsPerSecond points = exactly 1 points-VFTP.
+	weekPts := 7 * 86400 * PointsPerSecond
+	if got := PointsVFTP(weekPts); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PointsVFTP = %v", got)
+	}
+	if got := RuntimeVFTP(7 * 86400); got != 1 {
+		t.Fatalf("RuntimeVFTP = %v", got)
+	}
+}
+
+func TestAccountingBias(t *testing.T) {
+	// A fleet of half-speed devices: run-time VFTP counts their hours at
+	// face value, points halve them — bias 2.
+	l := NewLedger()
+	l.Register(Device{ID: 1, Score: 50})
+	l.Credit(Result{Device: 1, ReportedS: 3600})
+	if got := l.AccountingBias(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("bias = %v", got)
+	}
+	empty := NewLedger()
+	if !math.IsNaN(empty.AccountingBias()) {
+		t.Fatal("empty ledger should be NaN")
+	}
+}
+
+func TestAccountingBiasMatchesPaperIntuition(t *testing.T) {
+	// §6: a WCG VFTP is ~4× weaker than the reference processor. If
+	// devices' effective scores average 1/3.96 of the reference, the
+	// run-time metric overstates delivered work by ≈ 3.96 — exactly the
+	// paper's speed-down.
+	l := NewLedger()
+	r := rng.New(7)
+	for i := 0; i < 500; i++ {
+		score := ReferenceScore / 3.96 * (0.5 + r.Float64())
+		l.Register(Device{ID: i, Score: score})
+	}
+	for i := 0; i < 500; i++ {
+		l.Credit(Result{Device: i, ReportedS: 3600 * (1 + 10*r.Float64())})
+	}
+	bias := l.AccountingBias()
+	if bias < 3 || bias > 5.5 {
+		t.Fatalf("bias = %v, want ≈ 4", bias)
+	}
+}
+
+func TestPowerTrend(t *testing.T) {
+	l := NewLedger()
+	// Devices joining later are faster: +2 score/week plus noise.
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		week := float64(i % 50)
+		l.Register(Device{
+			ID:       i,
+			Score:    60 + 2*week + r.Normal(0, 3),
+			JoinedAt: week * 7 * 86400,
+		})
+	}
+	perWeek, fit, ok := l.PowerTrend()
+	if !ok {
+		t.Fatal("trend not computed")
+	}
+	if perWeek < 1.5 || perWeek > 2.5 {
+		t.Fatalf("trend %v score/week, want ≈ 2", perWeek)
+	}
+	if fit.R2 < 0.9 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+}
+
+func TestPowerTrendDegenerate(t *testing.T) {
+	l := NewLedger()
+	if _, _, ok := l.PowerTrend(); ok {
+		t.Fatal("empty ledger should have no trend")
+	}
+	l.Register(Device{ID: 1, Score: 100})
+	l.Register(Device{ID: 2, Score: 120})
+	// Same join time: no trend computable.
+	if _, _, ok := l.PowerTrend(); ok {
+		t.Fatal("same-join-time fleet should have no trend")
+	}
+}
+
+func BenchmarkCredit(b *testing.B) {
+	l := NewLedger()
+	l.Register(Device{ID: 1, Score: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Credit(Result{Device: 1, ReportedS: 3600, At: float64(i)})
+	}
+}

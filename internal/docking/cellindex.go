@@ -1,0 +1,185 @@
+package docking
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/protein"
+)
+
+// CellIndex is a spatial hash of the receptor's beads with cell edge equal
+// to the interaction cutoff: any ligand bead interacts only with receptor
+// beads in its own and the 26 neighbouring cells. For large proteins this
+// turns the O(n·m) energy evaluation into O(m · density), the standard
+// cell-list optimization of particle codes.
+//
+// The index is immutable after construction and safe for concurrent use —
+// one index per receptor is shared by all workers of a parallel energy map.
+type CellIndex struct {
+	receptor *protein.Protein
+	cell     float64
+	origin   Vec3
+	dims     [3]int
+	// beads of each cell, flattened; cellStart[i]..cellStart[i+1] indexes
+	// beadIdx.
+	cellStart []int32
+	beadIdx   []int32
+}
+
+// NewCellIndex builds the index for a receptor.
+func NewCellIndex(receptor *protein.Protein) *CellIndex {
+	const cell = Cutoff
+	lo := Vec3{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
+	hi := Vec3{X: math.Inf(-1), Y: math.Inf(-1), Z: math.Inf(-1)}
+	for i := range receptor.Beads {
+		p := receptor.Beads[i].Pos
+		lo.X, lo.Y, lo.Z = math.Min(lo.X, p.X), math.Min(lo.Y, p.Y), math.Min(lo.Z, p.Z)
+		hi.X, hi.Y, hi.Z = math.Max(hi.X, p.X), math.Max(hi.Y, p.Y), math.Max(hi.Z, p.Z)
+	}
+	ci := &CellIndex{receptor: receptor, cell: cell, origin: lo}
+	for d, span := range [3]float64{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z} {
+		n := int(span/cell) + 1
+		if n < 1 {
+			n = 1
+		}
+		ci.dims[d] = n
+	}
+	nCells := ci.dims[0] * ci.dims[1] * ci.dims[2]
+	counts := make([]int32, nCells+1)
+	cellOf := make([]int32, len(receptor.Beads))
+	for i := range receptor.Beads {
+		c := ci.cellAt(receptor.Beads[i].Pos)
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for i := 1; i <= nCells; i++ {
+		counts[i] += counts[i-1]
+	}
+	ci.cellStart = counts
+	ci.beadIdx = make([]int32, len(receptor.Beads))
+	fill := make([]int32, nCells)
+	for i := range receptor.Beads {
+		c := cellOf[i]
+		ci.beadIdx[ci.cellStart[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	return ci
+}
+
+// cellAt maps a position inside the bounding box to its cell id; positions
+// outside are clamped to the border cells (they can still interact with
+// beads near the boundary).
+func (ci *CellIndex) cellAt(p Vec3) int32 {
+	ix := clampInt(int((p.X-ci.origin.X)/ci.cell), 0, ci.dims[0]-1)
+	iy := clampInt(int((p.Y-ci.origin.Y)/ci.cell), 0, ci.dims[1]-1)
+	iz := clampInt(int((p.Z-ci.origin.Z)/ci.cell), 0, ci.dims[2]-1)
+	return int32((ix*ci.dims[1]+iy)*ci.dims[2] + iz)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InteractionEnergy computes the same energy as the brute-force
+// docking.InteractionEnergy, visiting only receptor beads within one cell
+// of each ligand bead.
+func (ci *CellIndex) InteractionEnergy(ligand *protein.Protein, pose Pose) Energy {
+	rot := protein.EulerZYZ(pose.Alpha, pose.Beta, pose.Gamma)
+	var e Energy
+	const cutoff2 = Cutoff * Cutoff
+	beads := ci.receptor.Beads
+	for li := range ligand.Beads {
+		lb := &ligand.Beads[li]
+		lpos := rot.Apply(lb.Pos).Add(pose.Pos)
+		// Cell coordinates of the ligand bead (unclamped for the scan
+		// bounds, so beads far outside the box interact with nothing or
+		// only the border shell, exactly as the cutoff dictates).
+		cx := int(math.Floor((lpos.X - ci.origin.X) / ci.cell))
+		cy := int(math.Floor((lpos.Y - ci.origin.Y) / ci.cell))
+		cz := int(math.Floor((lpos.Z - ci.origin.Z) / ci.cell))
+		x0, x1 := clampInt(cx-1, 0, ci.dims[0]-1), clampInt(cx+1, 0, ci.dims[0]-1)
+		y0, y1 := clampInt(cy-1, 0, ci.dims[1]-1), clampInt(cy+1, 0, ci.dims[1]-1)
+		z0, z1 := clampInt(cz-1, 0, ci.dims[2]-1), clampInt(cz+1, 0, ci.dims[2]-1)
+		if cx+1 < 0 || cx-1 >= ci.dims[0] ||
+			cy+1 < 0 || cy-1 >= ci.dims[1] ||
+			cz+1 < 0 || cz-1 >= ci.dims[2] {
+			continue // no receptor cell within the cutoff shell
+		}
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				base := (x*ci.dims[1] + y) * ci.dims[2]
+				for z := z0; z <= z1; z++ {
+					c := base + z
+					for _, ri := range ci.beadIdx[ci.cellStart[c]:ci.cellStart[c+1]] {
+						rb := &beads[ri]
+						d := lpos.Sub(rb.Pos)
+						r2 := d.Norm2()
+						if r2 > cutoff2 {
+							continue
+						}
+						if r2 < 1e-6 {
+							r2 = 1e-6
+						}
+						sigma := lb.Radius + rb.Radius
+						s2 := sigma * sigma / r2
+						s6 := s2 * s2 * s2
+						e.LJ += 4 * LJEpsilon * (s6*s6 - s6)
+						r := math.Sqrt(r2)
+						e.Elec += CoulombK * lb.Charge * rb.Charge / (DielectricScale * r * r)
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// EnergyMapParallel computes the full interaction map of a couple using
+// nWorkers goroutines (0 = GOMAXPROCS), splitting the starting positions
+// across workers. Results are identical to EnergyMap and returned in the
+// same (isep, irot) order: the map is embarrassingly parallel, which is
+// precisely why the application fits a desktop grid (§4.1).
+func EnergyMapParallel(receptor, ligand *protein.Protein, params MinimizeParams, nWorkers int) []Result {
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	nsep := receptor.Nsep
+	out := make([]Result, nsep*protein.NRotWorkunit)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(nsep) {
+			return -1
+		}
+		next++
+		return int(next) // 1-based isep
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				isep := take()
+				if isep < 0 {
+					return
+				}
+				base := (isep - 1) * protein.NRotWorkunit
+				for irot := 1; irot <= protein.NRotWorkunit; irot++ {
+					out[base+irot-1] = Dock(receptor, ligand, isep, irot, params)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,145 @@
+package docking
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/protein"
+	"repro/internal/rng"
+)
+
+func TestCellIndexMatchesBruteForce(t *testing.T) {
+	ds := protein.HCMD168()
+	// Use the largest protein (worst case for brute force, best for cells).
+	rec := ds.Proteins[0]
+	for _, p := range ds.Proteins {
+		if p.NumBeads() > rec.NumBeads() {
+			rec = p
+		}
+	}
+	lig := ds.Proteins[1]
+	ci := NewCellIndex(rec)
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		pose := Pose{
+			Pos: Vec3{
+				X: r.Normal(0, rec.Radius),
+				Y: r.Normal(0, rec.Radius),
+				Z: r.Normal(0, rec.Radius),
+			},
+			Alpha: r.Float64() * 2 * math.Pi,
+			Beta:  r.Float64() * math.Pi,
+			Gamma: r.Float64() * 2 * math.Pi,
+		}
+		want := InteractionEnergy(rec, lig, pose)
+		got := ci.InteractionEnergy(lig, pose)
+		tol := 1e-9 * (1 + math.Abs(want.LJ) + math.Abs(want.Elec))
+		if math.Abs(got.LJ-want.LJ) > tol || math.Abs(got.Elec-want.Elec) > tol {
+			t.Fatalf("trial %d: cell %+v vs brute %+v", trial, got, want)
+		}
+	}
+}
+
+func TestCellIndexFarLigand(t *testing.T) {
+	ds := protein.Generate(2, 9)
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	ci := NewCellIndex(rec)
+	// Far outside the box: zero energy, and the shell skip must trigger.
+	e := ci.InteractionEnergy(lig, Pose{Pos: Vec3{X: 1e5}})
+	if e.LJ != 0 || e.Elec != 0 {
+		t.Fatalf("distant ligand should not interact: %+v", e)
+	}
+}
+
+func TestCellIndexNearBoundary(t *testing.T) {
+	// Ligand hovering just outside the receptor bounding box must still
+	// interact with boundary beads (the clamped border-cell scan).
+	ds := protein.Generate(2, 11)
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	ci := NewCellIndex(rec)
+	pose := Pose{Pos: Vec3{X: rec.Radius + 5}}
+	want := InteractionEnergy(rec, lig, pose)
+	got := ci.InteractionEnergy(lig, pose)
+	if math.Abs(got.Total()-want.Total()) > 1e-9*(1+math.Abs(want.Total())) {
+		t.Fatalf("boundary energy differs: %v vs %v", got.Total(), want.Total())
+	}
+	if want.LJ == 0 && want.Elec == 0 {
+		t.Fatal("test pose should actually interact")
+	}
+}
+
+func TestCellIndexSingleBeadProtein(t *testing.T) {
+	// Degenerate geometry: one bead, 1×1×1 grid.
+	p := &protein.Protein{ID: 0, Name: "ONE", Beads: []protein.Bead{{Radius: 2, Charge: 0.1}}, Radius: 0, Nsep: 1}
+	q := &protein.Protein{ID: 1, Name: "TWO", Beads: []protein.Bead{{Radius: 2, Charge: -0.1}}, Radius: 0, Nsep: 1}
+	ci := NewCellIndex(p)
+	pose := Pose{Pos: Vec3{X: 5}}
+	want := InteractionEnergy(p, q, pose)
+	got := ci.InteractionEnergy(q, pose)
+	if math.Abs(got.Total()-want.Total()) > 1e-12 {
+		t.Fatalf("single-bead energy differs: %v vs %v", got, want)
+	}
+}
+
+func TestEnergyMapParallelMatchesSequential(t *testing.T) {
+	ds := protein.Generate(2, 33)
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	rec.Nsep = 6
+	params := MinimizeParams{MaxIter: 3, GammaSub: 1}
+	seq := EnergyMap(rec, lig, params)
+	for _, workers := range []int{1, 2, 4, 0} {
+		par := EnergyMapParallel(rec, lig, params, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func BenchmarkEnergyBruteForce(b *testing.B) {
+	ds := protein.HCMD168()
+	rec := ds.Proteins[0]
+	for _, p := range ds.Proteins {
+		if p.NumBeads() > rec.NumBeads() {
+			rec = p
+		}
+	}
+	lig := ds.Proteins[1]
+	pose := Pose{Pos: Vec3{X: rec.Radius}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = InteractionEnergy(rec, lig, pose)
+	}
+}
+
+func BenchmarkEnergyCellIndex(b *testing.B) {
+	ds := protein.HCMD168()
+	rec := ds.Proteins[0]
+	for _, p := range ds.Proteins {
+		if p.NumBeads() > rec.NumBeads() {
+			rec = p
+		}
+	}
+	lig := ds.Proteins[1]
+	ci := NewCellIndex(rec)
+	pose := Pose{Pos: Vec3{X: rec.Radius}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ci.InteractionEnergy(lig, pose)
+	}
+}
+
+func BenchmarkEnergyMapParallel(b *testing.B) {
+	ds := protein.Generate(2, 3)
+	rec, lig := ds.Proteins[0], ds.Proteins[1]
+	rec.Nsep = 8
+	params := MinimizeParams{MaxIter: 4, GammaSub: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EnergyMapParallel(rec, lig, params, 0)
+	}
+}

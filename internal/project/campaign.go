@@ -1,0 +1,533 @@
+// Package project orchestrates the HCMD phase I campaign on the simulated
+// volunteer grid: workunit release order, the three project phases of §5.1,
+// and the accounting behind Figures 6-8 and Table 2.
+//
+// The World Community Grid team launched "the workunit of one protein after
+// an other", cheapest protein first — failures surface quickly when results
+// return fast, and the ever-growing grid brings new, faster devices for the
+// expensive tail. The project's share of the grid went through three
+// phases: a low-priority control period (the first two months), a
+// prioritization ramp (February), and a full-power phase at a constant
+// ~45 % share of a growing grid (March until completion).
+package project
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/credit"
+	"repro/internal/protein"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vftp"
+	"repro/internal/volunteer"
+	"repro/internal/wcg"
+	"repro/internal/workunit"
+)
+
+// LaunchOrder selects the order receptor batches are released in.
+type LaunchOrder int
+
+const (
+	// CheapestFirst is the production policy (§5.1).
+	CheapestFirst LaunchOrder = iota
+	// CostliestFirst is the adversarial ablation.
+	CostliestFirst
+	// RandomOrder releases batches in dataset order scrambled by the seed.
+	RandomOrder
+)
+
+// DeployedHHours is the workunit target duration the production campaign
+// effectively used: Figure 8 shows most workunits tuned to 3-4 hours on the
+// reference CPU with a mean of 3 h 18 m 47 s.
+const DeployedHHours = 3.7
+
+// CampaignStartWeek places the HCMD launch (December 19, 2006) on the grid
+// model's time axis (weeks since the WCG launch of November 16, 2004).
+const CampaignStartWeek = 109
+
+// Config parameterizes a campaign run.
+type Config struct {
+	DS *protein.Dataset
+	M  *costmodel.Matrix
+
+	HHours float64 // workunit target duration; 0 = DeployedHHours
+	Server wcg.Config
+	Host   volunteer.HostConfig
+	Grid   volunteer.GridModel
+
+	// Phase schedule (§5.1), in weeks from campaign start.
+	ControlWeeks float64 // low-priority period
+	RampWeeks    float64 // prioritization ramp
+	ControlShare float64 // grid share during the control period
+	FullShare    float64 // grid share at full power
+
+	Order LaunchOrder
+
+	// WorkScale subsamples ligands per receptor (1 = all couples);
+	// HostScale scales the host population by the same convention.
+	// Scaled runs preserve the campaign's shape at a fraction of the cost.
+	WorkScale float64
+	HostScale float64
+
+	Seed     uint64
+	MaxWeeks float64 // safety stop
+
+	// SnapshotWeeks are the Figure 7 progression capture points.
+	SnapshotWeeks []float64
+}
+
+// DefaultConfig returns the full-scale production configuration; callers
+// normally reduce WorkScale/HostScale.
+func DefaultConfig(ds *protein.Dataset, m *costmodel.Matrix) Config {
+	return Config{
+		DS:            ds,
+		M:             m,
+		HHours:        DeployedHHours,
+		Server:        wcg.DefaultConfig(),
+		Host:          volunteer.DefaultHostConfig(),
+		Grid:          volunteer.DefaultGridModel(),
+		ControlWeeks:  8,
+		RampWeeks:     3,
+		ControlShare:  0.05,
+		FullShare:     0.48,
+		Order:         CheapestFirst,
+		WorkScale:     1,
+		HostScale:     1,
+		Seed:          protein.DefaultSeed + 2,
+		MaxWeeks:      60,
+		SnapshotWeeks: []float64{13, 16.3, 19.3, 25},
+	}
+}
+
+// Share returns the project's share of the grid at week w of the campaign:
+// the three-phase schedule of §5.1.
+func (c Config) Share(w float64) float64 {
+	switch {
+	case w < c.ControlWeeks:
+		return c.ControlShare
+	case w < c.ControlWeeks+c.RampWeeks:
+		frac := (w - c.ControlWeeks) / c.RampWeeks
+		return c.ControlShare + frac*(c.FullShare-c.ControlShare)
+	default:
+		return c.FullShare
+	}
+}
+
+// Snapshot is a Figure 7 progression capture: per-protein completed work
+// fraction (in launch order) at a campaign week.
+type Snapshot struct {
+	Week            float64
+	PerBatch        []float64 // completed fraction per batch, launch order
+	OverallFraction float64   // completed ref-seconds / total ref-seconds
+	BatchesDone     int       // batches fully completed
+}
+
+// ProteinsDoneFraction returns the fraction of proteins fully docked.
+func (s Snapshot) ProteinsDoneFraction() float64 {
+	if len(s.PerBatch) == 0 {
+		return 0
+	}
+	return float64(s.BatchesDone) / float64(len(s.PerBatch))
+}
+
+// Report aggregates everything a campaign run produces.
+type Report struct {
+	Config Config
+
+	// Completion.
+	Completed     bool
+	WeeksElapsed  float64
+	TotalRefWork  float64 // ref-seconds of distinct work released
+	DistinctWUs   int64
+	ServerStats   wcg.Stats
+	MeanSpeedDown float64 // population mean
+
+	// Weekly series (real, de-scaled units).
+	HCMDVFTP    *stats.Series // Figure 6(a): project VFTP per week
+	GridVFTP    *stats.Series // Figure 6(a): available grid capacity
+	ResultsWeek *stats.Series // Figure 6(b): results received per week
+
+	// Figure 8: observed reported run time per result (hours).
+	ReportedHours *stats.Histogram
+	MeanReportedH float64
+
+	// Figure 7 progression snapshots.
+	Snapshots []Snapshot
+
+	// Derived (Table 2 inputs).
+	AvgVFTPWhole     float64
+	AvgVFTPFullPower float64
+
+	// Points accounting (§8): the middleware-independent alternative to
+	// run-time VFTP the conclusion proposes.
+	PointsTotal    float64 // points granted over the campaign (simulated units)
+	AccountingBias float64 // run-time VFTP / points VFTP (≈ the hardware factor)
+	HardwareTrend  float64 // benchmark score gained per week by joining devices
+}
+
+// SpeedDownObserved returns mean reported time / mean reference time per
+// useful result — the paper's 3.96 estimate (computed over all results, as
+// the paper does: 13 h observed vs 3.3 h packaged).
+func (r Report) SpeedDownObserved(meanRefHours float64) float64 {
+	if meanRefHours <= 0 {
+		return 0
+	}
+	return r.MeanReportedH / meanRefHours / r.ServerStats.RedundancyFactor()
+}
+
+// Table2 returns the volunteer↔dedicated equivalence computed from this
+// run, using the run's own measured total inflation factor.
+func (r Report) Table2() []vftp.EquivalenceRow {
+	factor := r.TotalFactor()
+	if factor <= 0 {
+		factor = vftp.PaperTotalFactor
+	}
+	return vftp.Table2(r.AvgVFTPWhole, r.AvgVFTPFullPower, factor)
+}
+
+// TotalFactor returns the measured end-to-end CPU inflation: reported CPU
+// consumed per reference second of distinct work (the paper's 5.43).
+func (r Report) TotalFactor() float64 {
+	if r.TotalRefWork <= 0 {
+		return 0
+	}
+	return r.ServerStats.CPUSeconds / r.TotalRefWork / r.scaleRatio()
+}
+
+// scaleRatio compensates for HostScale≠WorkScale runs (CPU is accumulated
+// in simulated units; work in simulated units too, so the ratio is 1 unless
+// the caller mixed scales).
+func (r Report) scaleRatio() float64 { return 1 }
+
+// batch is one receptor's worth of work.
+type batch struct {
+	receptor  int
+	cost      float64 // ref-seconds (scaled)
+	remaining int     // workunits not yet completed
+	total     int
+	doneRef   float64 // ref-seconds completed
+}
+
+// Campaign is a configured, runnable simulation.
+type Campaign struct {
+	cfg     Config
+	engine  *sim.Engine
+	server  *wcg.Server
+	pop     *volunteer.Population
+	batches []*batch
+	order   []int // batch release order (indexes into batches)
+
+	next        int // next batch to release
+	outstanding int // batches released but not completed
+
+	weeklyCPU   []float64
+	weeklyCount []int64
+
+	report Report
+}
+
+// New builds a campaign from the configuration.
+func New(cfg Config) *Campaign {
+	if cfg.DS == nil || cfg.M == nil {
+		panic("project: config needs dataset and matrix")
+	}
+	if cfg.HHours <= 0 {
+		cfg.HHours = DeployedHHours
+	}
+	if cfg.WorkScale <= 0 || cfg.WorkScale > 1 {
+		panic(fmt.Sprintf("project: WorkScale %v out of (0,1]", cfg.WorkScale))
+	}
+	if cfg.HostScale <= 0 {
+		panic("project: HostScale must be positive")
+	}
+	if cfg.MaxWeeks <= 0 {
+		cfg.MaxWeeks = 60
+	}
+	c := &Campaign{cfg: cfg, engine: sim.NewEngine()}
+	c.server = wcg.NewServer(c.engine, cfg.Server)
+	c.pop = volunteer.NewPopulation(c.engine, c.server, cfg.Host, rng.New(cfg.Seed))
+	c.report.Config = cfg
+	c.report.ReportedHours = stats.NewHistogram(0, 80, 80)
+	return c
+}
+
+// ligandsFor returns the (possibly subsampled) ligand list for a receptor.
+// The sample is offset by the receptor index so that across receptors every
+// ligand column is drawn evenly — plain striding from 0 would bias the
+// scaled workload toward a few ligands' cost profile.
+func (c *Campaign) ligandsFor(receptor int) []int {
+	n := c.cfg.DS.Len()
+	count := int(math.Round(float64(n) * c.cfg.WorkScale))
+	if count < 1 {
+		count = 1
+	}
+	if count >= n {
+		out := make([]int, n)
+		for j := range out {
+			out[j] = j
+		}
+		return out
+	}
+	stride := float64(n) / float64(count)
+	out := make([]int, 0, count)
+	seen := make(map[int]bool, count)
+	// The offset multiplies the receptor index by a constant coprime with
+	// typical dataset sizes so the sampled ligand is unrelated to the
+	// receptor (receptor+k would select the diagonal at count=1, which is
+	// systematically more expensive: big receptors dock big ligands).
+	const scatter = 53
+	for k := 0; k < count; k++ {
+		j := (receptor*scatter + int(math.Round(float64(k)*stride))) % n
+		for seen[j] {
+			j = (j + 1) % n
+		}
+		seen[j] = true
+		out = append(out, j)
+	}
+	return out
+}
+
+// prepare builds batches and their release order.
+func (c *Campaign) prepare() {
+	ds, m := c.cfg.DS, c.cfg.M
+	c.batches = make([]*batch, ds.Len())
+	for i := range c.batches {
+		b := &batch{receptor: i}
+		for _, j := range c.ligandsFor(i) {
+			nsep := workunit.SliceCouple(c.cfg.HHours*3600, m.At(i, j), ds.Proteins[i].Nsep)
+			b.total += workunit.CoupleCount(ds.Proteins[i].Nsep, nsep)
+			b.cost += float64(ds.Proteins[i].Nsep) * m.At(i, j)
+		}
+		b.remaining = b.total
+		c.batches[i] = b
+		c.report.TotalRefWork += b.cost
+		c.report.DistinctWUs += int64(b.total)
+	}
+	c.order = make([]int, len(c.batches))
+	for i := range c.order {
+		c.order[i] = i
+	}
+	switch c.cfg.Order {
+	case CheapestFirst:
+		sort.SliceStable(c.order, func(a, b int) bool {
+			return c.batches[c.order[a]].cost < c.batches[c.order[b]].cost
+		})
+	case CostliestFirst:
+		sort.SliceStable(c.order, func(a, b int) bool {
+			return c.batches[c.order[a]].cost > c.batches[c.order[b]].cost
+		})
+	case RandomOrder:
+		rng.New(c.cfg.Seed+99).Shuffle(len(c.order), func(a, b int) {
+			c.order[a], c.order[b] = c.order[b], c.order[a]
+		})
+	}
+}
+
+// releaseBatch feeds one receptor's workunits to the server.
+func (c *Campaign) releaseBatch(orderIdx int) {
+	bi := c.order[orderIdx]
+	b := c.batches[bi]
+	ds, m := c.cfg.DS, c.cfg.M
+	rec := b.receptor
+	var id int64
+	for _, j := range c.ligandsFor(rec) {
+		nsep := workunit.SliceCouple(c.cfg.HHours*3600, m.At(rec, j), ds.Proteins[rec].Nsep)
+		total := ds.Proteins[rec].Nsep
+		for lo := 1; lo <= total; lo += nsep {
+			hi := lo + nsep - 1
+			if hi > total {
+				hi = total
+			}
+			c.server.AddWorkunit(workunit.Workunit{
+				ID:       int64(rec)<<32 | id,
+				Receptor: rec, Ligand: j,
+				ISepLo: lo, ISepHi: hi,
+				RefSeconds: float64(hi-lo+1) * m.At(rec, j),
+			}, bi)
+			id++
+		}
+	}
+	c.outstanding++
+}
+
+// feed keeps the server stocked: release batches until pending work covers
+// several days of the active population's consumption (a typical workunit
+// takes ~13 reported hours, so ~8 workunits per host per feed interval is a
+// comfortable buffer).
+func (c *Campaign) feed() {
+	low := 12 * c.pop.Active()
+	if low < 64 {
+		low = 64
+	}
+	for c.next < len(c.order) && c.server.PendingCount() < low {
+		c.releaseBatch(c.next)
+		c.next++
+	}
+}
+
+// Run executes the campaign and returns its report.
+func (c *Campaign) Run() *Report {
+	cfg := &c.cfg
+	c.prepare()
+
+	c.server.OnComplete = func(st *wcg.WUState) {
+		b := c.batches[st.Batch]
+		b.remaining--
+		b.doneRef += st.WU.RefSeconds
+		if b.remaining == 0 {
+			c.outstanding--
+		}
+	}
+	c.server.OnWeekCPU = func(week int, cpu float64) {
+		for len(c.weeklyCPU) <= week {
+			c.weeklyCPU = append(c.weeklyCPU, 0)
+			c.weeklyCount = append(c.weeklyCount, 0)
+		}
+		c.weeklyCPU[week] += cpu
+		c.weeklyCount[week]++
+		c.report.ReportedHours.Add(cpu / 3600)
+	}
+
+	done := false
+	doneWeek := 0.0
+	snapIdx := 0
+	weekly := c.engine.Every(0, sim.Week, func(now sim.Time) {
+		w := now / sim.Week
+		if done {
+			return
+		}
+		// Figure 7 snapshots (captured at the first tick at/after the mark).
+		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
+			c.captureSnapshot(w)
+			snapIdx++
+		}
+		if c.allDone() {
+			done = true
+			doneWeek = w
+			// Capture any snapshot marks not yet reached: the project is
+			// finished, so they all see the final (complete) state.
+			for snapIdx < len(cfg.SnapshotWeeks) {
+				c.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
+				snapIdx++
+			}
+			c.pop.SetTarget(0)
+			return
+		}
+		// Track the phase schedule.
+		gridCap := cfg.Grid.VFTPAt(CampaignStartWeek + w)
+		target := int(math.Round(cfg.Share(w) * gridCap * cfg.HostScale))
+		if target < 1 {
+			target = 1
+		}
+		c.pop.SetTarget(target)
+		c.feed()
+	})
+	// A daily feeder keeps the queue from draining dry between the weekly
+	// phase adjustments (the server would otherwise starve fast hosts).
+	daily := c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+		if !done {
+			c.feed()
+		}
+	})
+
+	c.engine.RunUntil(cfg.MaxWeeks * sim.Week)
+	weekly.Stop()
+	daily.Stop()
+	// Drain any stragglers (late returns) without advancing phases.
+	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
+
+	c.finishReport(done, doneWeek)
+	return &c.report
+}
+
+func (c *Campaign) allDone() bool {
+	return c.next >= len(c.order) && c.outstanding == 0
+}
+
+func (c *Campaign) captureSnapshot(week float64) {
+	s := Snapshot{Week: week, PerBatch: make([]float64, len(c.order))}
+	var doneRef, totalRef float64
+	for i, bi := range c.order {
+		b := c.batches[bi]
+		frac := 0.0
+		if b.cost > 0 {
+			frac = b.doneRef / b.cost
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		s.PerBatch[i] = frac
+		if b.remaining == 0 {
+			s.BatchesDone++
+		}
+		doneRef += b.doneRef
+		totalRef += b.cost
+	}
+	if totalRef > 0 {
+		s.OverallFraction = doneRef / totalRef
+	}
+	c.report.Snapshots = append(c.report.Snapshots, s)
+}
+
+func (c *Campaign) finishReport(done bool, doneWeek float64) {
+	r := &c.report
+	r.Completed = done
+	r.ServerStats = c.server.Stats
+	r.MeanSpeedDown = c.pop.MeanSpeedDown()
+
+	if done {
+		r.WeeksElapsed = doneWeek
+	} else {
+		r.WeeksElapsed = c.cfg.MaxWeeks
+	}
+
+	// De-scale the weekly series to real units.
+	r.HCMDVFTP = stats.NewSeries("hcmd-vftp")
+	r.ResultsWeek = stats.NewSeries("results-per-week")
+	r.GridVFTP = stats.NewSeries("grid-vftp")
+	nWeeks := int(r.WeeksElapsed)
+	if nWeeks > len(c.weeklyCPU) {
+		nWeeks = len(c.weeklyCPU)
+	}
+	for w := 0; w < nWeeks; w++ {
+		v := vftp.FromCPU(c.weeklyCPU[w], 7*vftp.SecondsPerDay) / c.cfg.HostScale
+		r.HCMDVFTP.Add(float64(w), v)
+		r.ResultsWeek.Add(float64(w), float64(c.weeklyCount[w])/c.cfg.WorkScale)
+		r.GridVFTP.Add(float64(w), c.cfg.Grid.VFTPAt(CampaignStartWeek+float64(w)))
+	}
+	if r.HCMDVFTP.Len() > 0 {
+		r.AvgVFTPWhole = r.HCMDVFTP.YMean()
+		fp := r.HCMDVFTP.Window(c.cfg.ControlWeeks+c.cfg.RampWeeks, math.Inf(1))
+		if fp.Len() > 0 {
+			r.AvgVFTPFullPower = fp.YMean()
+		}
+	}
+	if r.ServerStats.Received > 0 {
+		r.MeanReportedH = r.ServerStats.CPUSeconds / float64(r.ServerStats.Received) / 3600
+	}
+
+	// Points accounting over the host fleet (§8): each device's benchmark
+	// score is the reference score divided by its hardware factor.
+	ledger := credit.NewLedger()
+	for _, h := range c.pop.Hosts() {
+		ledger.Register(credit.Device{
+			ID:       h.ID,
+			Score:    credit.ReferenceScore / h.Hardware,
+			JoinedAt: h.JoinedAt,
+		})
+		if h.CPUSpent > 0 {
+			if _, err := ledger.Credit(credit.Result{Device: h.ID, ReportedS: h.CPUSpent, At: h.JoinedAt}); err != nil {
+				panic(err) // devices were just registered; cannot happen
+			}
+		}
+	}
+	r.PointsTotal = ledger.Total()
+	r.AccountingBias = ledger.AccountingBias()
+	if trend, _, ok := ledger.PowerTrend(); ok {
+		r.HardwareTrend = trend
+	}
+}

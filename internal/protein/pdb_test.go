@@ -1,0 +1,84 @@
+package protein
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPDBRoundTrip(t *testing.T) {
+	ds := Generate(3, 42)
+	for _, p := range ds.Proteins {
+		var buf bytes.Buffer
+		if err := WritePDB(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParsePDB(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != p.Name {
+			t.Fatalf("name %q, want %q", got.Name, p.Name)
+		}
+		if got.Nsep != p.Nsep {
+			t.Fatalf("nsep %d, want %d", got.Nsep, p.Nsep)
+		}
+		if len(got.Beads) != len(p.Beads) {
+			t.Fatalf("beads %d, want %d", len(got.Beads), len(p.Beads))
+		}
+		for i := range got.Beads {
+			// PDB columns carry 3 decimals for coordinates, 2 for the rest.
+			if math.Abs(got.Beads[i].Pos.X-p.Beads[i].Pos.X) > 5e-4 {
+				t.Fatalf("bead %d x: %v vs %v", i, got.Beads[i].Pos.X, p.Beads[i].Pos.X)
+			}
+			if math.Abs(got.Beads[i].Charge-p.Beads[i].Charge) > 5e-3 {
+				t.Fatalf("bead %d charge: %v vs %v", i, got.Beads[i].Charge, p.Beads[i].Charge)
+			}
+			if math.Abs(got.Beads[i].Radius-p.Beads[i].Radius) > 5e-3 {
+				t.Fatalf("bead %d radius: %v vs %v", i, got.Beads[i].Radius, p.Beads[i].Radius)
+			}
+		}
+	}
+}
+
+func TestPDBFormatColumns(t *testing.T) {
+	p := Generate(1, 7).Proteins[0]
+	var buf bytes.Buffer
+	if err := WritePDB(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.HasPrefix(lines[0], "HEADER") {
+		t.Fatal("missing HEADER")
+	}
+	sawAtom := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "HETATM") {
+			sawAtom = true
+			if len(l) != 66 {
+				t.Fatalf("HETATM record has %d columns: %q", len(l), l)
+			}
+		}
+	}
+	if !sawAtom {
+		t.Fatal("no HETATM records")
+	}
+	if lines[len(lines)-2] != "END" {
+		t.Fatalf("missing END record: %q", lines[len(lines)-2])
+	}
+}
+
+func TestParsePDBErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"HETATM short\n",
+		"REMARK    NSEP notanumber\n",
+		"HEADER    X\nEND\n",
+	}
+	for i, c := range cases {
+		if _, err := ParsePDB(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

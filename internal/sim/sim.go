@@ -1,0 +1,259 @@
+// Package sim implements the discrete-event simulation kernel on which the
+// volunteer-grid and dedicated-grid models run.
+//
+// The kernel is a classic event-list simulator: a binary heap of timestamped
+// events, a virtual clock that jumps from event to event, and helpers for
+// periodic processes (used by the weekly VFTP samplers and the availability
+// models). Time is a float64 number of seconds since the simulation epoch;
+// the HCMD campaign spans ~26 weeks ≈ 1.6e7 s, far below float64 integer
+// precision limits.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in seconds since the simulation epoch.
+type Time = float64
+
+// Common durations, in seconds.
+const (
+	Second = 1.0
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 24 * Hour
+	Week   = 7 * Day
+	Year   = 365.25 * Day
+)
+
+// Event is a scheduled callback. Cancel it via its handle.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among equal timestamps
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// Time returns the timestamp the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not valid;
+// use NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nEvent uint64 // events executed
+}
+
+// NewEngine returns an engine with the clock at 0 and an empty event list.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nEvent }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled ones that have not been popped yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a model that does so is broken, and silently clamping would corrupt
+// causality. Returns a handle for cancellation.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic("sim: scheduling event at non-finite time")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes the event from the schedule. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the next event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.nEvent++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is ahead of the last event).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Ticker invokes fn(now) every interval seconds starting at start, until
+// Stop is called or the engine runs out of events. fn runs before the next
+// tick is scheduled, so it may stop the ticker from within.
+type Ticker struct {
+	engine   *Engine
+	interval float64
+	fn       func(Time)
+	ev       *Event
+	stopped  bool
+}
+
+// Every creates and starts a ticker. interval must be positive.
+func (e *Engine) Every(start Time, interval float64, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.ev = e.At(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.engine.Now())
+	if t.stopped {
+		return
+	}
+	t.ev = t.engine.After(t.interval, t.tick)
+}
+
+// Stop halts the ticker. Safe to call multiple times and from within fn.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}
+
+// Calendar converts simulation time into calendar-like coordinates used by
+// the availability models: day of week, hour of day, and week index.
+// The simulation epoch is taken to be a Monday at midnight.
+type Calendar struct{}
+
+// HourOfDay returns the hour in [0, 24).
+func (Calendar) HourOfDay(t Time) float64 {
+	d := math.Mod(t, Day)
+	if d < 0 {
+		d += Day
+	}
+	return d / Hour
+}
+
+// DayOfWeek returns the day in [0, 7), 0 = Monday.
+func (Calendar) DayOfWeek(t Time) int {
+	w := math.Mod(t, Week)
+	if w < 0 {
+		w += Week
+	}
+	return int(w / Day)
+}
+
+// IsWeekend reports whether t falls on Saturday or Sunday.
+func (c Calendar) IsWeekend(t Time) bool {
+	d := c.DayOfWeek(t)
+	return d >= 5
+}
+
+// WeekIndex returns the zero-based week number of t.
+func (Calendar) WeekIndex(t Time) int {
+	if t < 0 {
+		return int(math.Floor(t / Week))
+	}
+	return int(t / Week)
+}
+
+// DayIndex returns the zero-based day number of t.
+func (Calendar) DayIndex(t Time) int {
+	if t < 0 {
+		return int(math.Floor(t / Day))
+	}
+	return int(t / Day)
+}

@@ -1,0 +1,474 @@
+package volunteer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wcg"
+	"repro/internal/workunit"
+)
+
+func makeServer(t testing.TB, engine *sim.Engine, nWU int, refSeconds float64) *wcg.Server {
+	t.Helper()
+	srv := wcg.NewServer(engine, wcg.Config{
+		InitialQuorum: 1,
+		SteadyQuorum:  1,
+		Deadline:      12 * sim.Day,
+	})
+	for i := 0; i < nWU; i++ {
+		srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 10, RefSeconds: refSeconds}, 0)
+	}
+	return srv
+}
+
+func TestMeanSpeedDownConstant(t *testing.T) {
+	if math.Abs(MeanSpeedDown-3.96) > 0.05 {
+		t.Fatalf("MeanSpeedDown = %v, want ≈ 3.96 (§6)", MeanSpeedDown)
+	}
+}
+
+func TestHostSpeedDownDistribution(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 100)
+	r := rng.New(1)
+	cfg := DefaultHostConfig()
+	const n = 20000
+	var invSum float64
+	for i := 0; i < n; i++ {
+		h := NewHost(i, engine, srv, cfg, r.Split())
+		if h.SpeedDown < 1 {
+			t.Fatalf("host %d speed-down %v < 1", i, h.SpeedDown)
+		}
+		invSum += 1 / h.SpeedDown
+	}
+	// The throughput-weighted (harmonic) mean is what the paper observes.
+	harmonic := n / invSum
+	if math.Abs(harmonic-MeanSpeedDown)/MeanSpeedDown > 0.03 {
+		t.Fatalf("harmonic mean speed-down %v, want ≈ %v", harmonic, MeanSpeedDown)
+	}
+}
+
+func TestHostCompletesWork(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 5, 1000)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 0
+	h := NewHost(0, engine, srv, cfg, rng.New(2))
+	h.Start()
+	engine.RunUntil(52 * sim.Week)
+	if srv.Stats.Completed != 5 {
+		t.Fatalf("completed %d of 5 workunits", srv.Stats.Completed)
+	}
+	if h.Done != 5 {
+		t.Fatalf("host Done = %d", h.Done)
+	}
+	// Reported CPU = refSeconds × speed-down for every task.
+	want := 5 * 1000 * h.SpeedDown
+	if math.Abs(h.CPUSpent-want) > 1e-6 {
+		t.Fatalf("CPUSpent = %v, want %v", h.CPUSpent, want)
+	}
+}
+
+func TestHostStopsAfterCurrentTask(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 100, 1000)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 0
+	h := NewHost(0, engine, srv, cfg, rng.New(3))
+	h.Start()
+	// Stop the host shortly after it picks up its first task.
+	engine.After(1, func() { h.Stop() })
+	engine.RunUntil(52 * sim.Week)
+	if h.Done != 1 {
+		t.Fatalf("stopped host completed %d tasks, want exactly 1", h.Done)
+	}
+}
+
+func TestHostErrorCausesResend(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 100)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 1 // always invalid
+	bad := NewHost(0, engine, srv, cfg, rng.New(4))
+	bad.Start()
+	engine.RunUntil(sim.Day)
+	bad.Stop()
+	// A clean host finishes the job.
+	good := cfg
+	good.ErrorProb = 0
+	h := NewHost(1, engine, srv, good, rng.New(5))
+	h.Start()
+	engine.RunUntil(20 * sim.Day)
+	if srv.Stats.Invalid == 0 {
+		t.Fatal("no invalid results recorded")
+	}
+	if srv.Stats.Completed != 1 {
+		t.Fatalf("workunit not completed after resend: %+v", srv.Stats)
+	}
+}
+
+func TestAbandonTimesOutAndReissues(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 100)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 1
+	cfg.LateReturnProb = 0
+	quitter := NewHost(0, engine, srv, cfg, rng.New(6))
+	quitter.Start()
+	engine.RunUntil(sim.Hour)
+	quitter.Stop()
+	good := DefaultHostConfig()
+	good.AbandonProb = 0
+	good.ErrorProb = 0
+	h := NewHost(1, engine, srv, good, rng.New(7))
+	h.Start()
+	engine.RunUntil(60 * sim.Day)
+	if srv.Stats.TimedOut == 0 {
+		t.Fatal("no timeout recorded")
+	}
+	if srv.Stats.Completed != 1 {
+		t.Fatalf("workunit not reissued and completed: %+v", srv.Stats)
+	}
+}
+
+func TestLateReturnCountedAsWasted(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 100)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 1
+	cfg.LateReturnProb = 1
+	late := NewHost(0, engine, srv, cfg, rng.New(8))
+	late.Start()
+	engine.RunUntil(sim.Hour)
+	late.Stop()
+	good := DefaultHostConfig()
+	good.AbandonProb = 0
+	good.ErrorProb = 0
+	h := NewHost(1, engine, srv, good, rng.New(9))
+	h.Start()
+	engine.RunUntil(80 * sim.Day)
+	if srv.Stats.Completed != 1 {
+		t.Fatalf("not completed: %+v", srv.Stats)
+	}
+	// The late copy eventually arrived after the good host validated the
+	// workunit: received > useful.
+	if srv.Stats.Received != 2 {
+		t.Fatalf("received %d results, want 2 (one late)", srv.Stats.Received)
+	}
+	if srv.Stats.Wasted != 1 {
+		t.Fatalf("wasted = %d, want 1", srv.Stats.Wasted)
+	}
+}
+
+func TestPopulationSetTarget(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 10000, 3600)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 0
+	pop := NewPopulation(engine, srv, cfg, rng.New(10))
+	pop.SetTarget(50)
+	if pop.Active() != 50 {
+		t.Fatalf("active = %d", pop.Active())
+	}
+	engine.RunUntil(sim.Day)
+	pop.SetTarget(20)
+	if pop.Active() != 20 {
+		t.Fatalf("after shrink: active = %d", pop.Active())
+	}
+	pop.SetTarget(80)
+	if pop.Active() != 80 {
+		t.Fatalf("after regrow: active = %d", pop.Active())
+	}
+	if pop.TotalJoined() != 110 { // 50 + 60 new (stopped ones don't return)
+		t.Fatalf("total joined = %d", pop.TotalJoined())
+	}
+	pop.SetTarget(-5)
+	if pop.Active() != 0 {
+		t.Fatalf("negative target should stop everyone, active = %d", pop.Active())
+	}
+}
+
+func TestPopulationThroughputScales(t *testing.T) {
+	// Twice the hosts should complete roughly twice the work in the same
+	// window.
+	run := func(hosts int) int64 {
+		engine := sim.NewEngine()
+		srv := makeServer(t, engine, 100000, 3600)
+		cfg := DefaultHostConfig()
+		pop := NewPopulation(engine, srv, cfg, rng.New(42))
+		pop.SetTarget(hosts)
+		engine.RunUntil(4 * sim.Week)
+		return srv.Stats.Completed
+	}
+	c1 := run(20)
+	c2 := run(40)
+	ratio := float64(c2) / float64(c1)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("throughput ratio %v for 2x hosts (completed %d vs %d)", ratio, c1, c2)
+	}
+}
+
+func TestMeanSpeedDownAccessor(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 10, 100)
+	pop := NewPopulation(engine, srv, DefaultHostConfig(), rng.New(3))
+	if pop.MeanSpeedDown() != 0 {
+		t.Fatal("empty population should report 0")
+	}
+	pop.SetTarget(100)
+	m := pop.MeanSpeedDown()
+	if m < 2.5 || m > 6.5 {
+		t.Fatalf("population mean speed-down %v out of plausible band", m)
+	}
+}
+
+func TestGridModelFigure1Shape(t *testing.T) {
+	g := DefaultGridModel()
+	const days = 3 * 364 // three years from launch
+	series := g.DailyVFTP(days, 1)
+	if len(series) != days {
+		t.Fatalf("len = %d", len(series))
+	}
+	// Growth: final quarter mean well above first quarter mean.
+	q := days / 4
+	var first, last float64
+	for d := 0; d < q; d++ {
+		first += series[d]
+		last += series[days-1-d]
+	}
+	if last < 3*first {
+		t.Fatalf("grid did not grow enough: first-quarter sum %v, last %v", first, last)
+	}
+	// Weekend dip: weekday mean above weekend mean.
+	var cal sim.Calendar
+	var wd, we, nwd, nwe float64
+	for d := 0; d < days; d++ {
+		if cal.IsWeekend(float64(d) * sim.Day) {
+			we += series[d]
+			nwe++
+		} else {
+			wd += series[d]
+			nwd++
+		}
+	}
+	if wd/nwd <= we/nwe {
+		t.Fatal("no weekend dip in Figure 1 series")
+	}
+	// Holiday dip: Christmas window below the surrounding trend.
+	xmas := series[40]
+	beforeXmas := series[30]
+	if xmas > beforeXmas {
+		t.Fatalf("no Christmas dip: day40=%v day30=%v", xmas, beforeXmas)
+	}
+}
+
+func TestGridModelDeterministic(t *testing.T) {
+	g := DefaultGridModel()
+	a := g.DailyVFTP(100, 7)
+	b := g.DailyVFTP(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+}
+
+func TestGridModelCampaignEraCapacity(t *testing.T) {
+	// The HCMD campaign runs roughly weeks 110-136 of the grid model; the
+	// paper reports an average available capacity of ~54,947 VFTP there.
+	g := DefaultGridModel()
+	var sum float64
+	for w := 110; w < 136; w++ {
+		sum += g.VFTPAt(float64(w))
+	}
+	avg := sum / 26
+	if avg < 45000 || avg > 65000 {
+		t.Fatalf("campaign-era capacity %v, want ≈ 55,000", avg)
+	}
+}
+
+func TestNewHostPanics(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 1)
+	cfg := DefaultHostConfig()
+	cfg.MeanSpeedDown = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHost(0, engine, srv, cfg, rng.New(1))
+}
+
+func BenchmarkPopulationMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		engine := sim.NewEngine()
+		srv := makeServer(b, engine, 50000, 3600)
+		pop := NewPopulation(engine, srv, DefaultHostConfig(), rng.New(1))
+		pop.SetTarget(100)
+		engine.RunUntil(4 * sim.Week)
+	}
+}
+
+func TestBOINCAccountingReportsLess(t *testing.T) {
+	// Same device, same work: the BOINC agent reports CPU time (hardware
+	// factor only), the UD agent reports wall time (throttle + priority
+	// included). §8 of the paper.
+	run := func(mode AccountingMode) float64 {
+		engine := sim.NewEngine()
+		srv := makeServer(t, engine, 3, 1000)
+		cfg := DefaultHostConfig()
+		cfg.AbandonProb = 0
+		cfg.ErrorProb = 0
+		cfg.Accounting = mode
+		h := NewHost(0, engine, srv, cfg, rng.New(77))
+		h.Start()
+		engine.RunUntil(26 * sim.Week)
+		if srv.Stats.Completed != 3 {
+			t.Fatalf("mode %v: completed %d", mode, srv.Stats.Completed)
+		}
+		return srv.Stats.CPUSeconds
+	}
+	ud := run(UDWallClock)
+	boinc := run(BOINCCPUTime)
+	if boinc >= ud {
+		t.Fatalf("BOINC accounting (%v) should report less than UD (%v)", boinc, ud)
+	}
+	// The ratio is the throttle × priority share of the speed-down.
+	ratio := ud / boinc
+	want := UDThrottleFactor * PriorityFactor
+	if math.Abs(ratio-want)/want > 0.01 {
+		t.Fatalf("accounting ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestBOINCAccountingSameWallTime(t *testing.T) {
+	// Accounting must not change physics: completion takes the same wall
+	// time under both modes.
+	run := func(mode AccountingMode) float64 {
+		engine := sim.NewEngine()
+		srv := makeServer(t, engine, 1, 1000)
+		cfg := DefaultHostConfig()
+		cfg.AbandonProb = 0
+		cfg.ErrorProb = 0
+		cfg.Accounting = mode
+		h := NewHost(0, engine, srv, cfg, rng.New(78))
+		h.Start()
+		done := -1.0
+		srv.OnComplete = func(*wcg.WUState) { done = engine.Now() }
+		engine.RunUntil(26 * sim.Week)
+		return done
+	}
+	if ud, boinc := run(UDWallClock), run(BOINCCPUTime); ud != boinc {
+		t.Fatalf("wall completion differs: %v vs %v", ud, boinc)
+	}
+}
+
+func TestHardwareTrendNewerHostsFaster(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 10, 100)
+	cfg := DefaultHostConfig()
+	cfg.HardwareTrendPerWeek = 0.01
+	// Average speed-down of a cohort joining now vs two years later.
+	r := rng.New(5)
+	var early, late float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		early += NewHost(i, engine, srv, cfg, r.Split()).SpeedDown
+	}
+	engine.RunUntil(104 * sim.Week)
+	for i := 0; i < n; i++ {
+		late += NewHost(n+i, engine, srv, cfg, r.Split()).SpeedDown
+	}
+	if late >= early {
+		t.Fatalf("later cohort not faster: %v vs %v", late/n, early/n)
+	}
+	// Two years at 1%/week ⇒ ≈ ×1/2.04.
+	ratio := early / late
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Fatalf("trend ratio %v, want ≈ 2", ratio)
+	}
+}
+
+func TestHardwareFloor(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 1, 1)
+	r := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		h := NewHost(i, engine, srv, DefaultHostConfig(), r.Split())
+		if h.Hardware < 1 {
+			t.Fatalf("hardware factor %v < 1", h.Hardware)
+		}
+		if h.Hardware > h.SpeedDown+1e-9 {
+			t.Fatalf("hardware %v exceeds total speed-down %v", h.Hardware, h.SpeedDown)
+		}
+	}
+}
+
+func TestWorkBufferCompletesEverything(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 20, 1000)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 0
+	cfg.WorkBuffer = 5
+	h := NewHost(0, engine, srv, cfg, rng.New(21))
+	h.Start()
+	engine.RunUntil(52 * sim.Week)
+	if srv.Stats.Completed != 20 {
+		t.Fatalf("completed %d of 20 with a work buffer", srv.Stats.Completed)
+	}
+	if h.Done != 20 {
+		t.Fatalf("host Done = %d", h.Done)
+	}
+}
+
+func TestWorkBufferAgesTasksTowardDeadline(t *testing.T) {
+	// A deep buffer on a slow host makes cached tasks miss the deadline —
+	// the turnaround cost of BOINC's connect-interval knob.
+	run := func(buffer int) int64 {
+		engine := sim.NewEngine()
+		srv := wcg.NewServer(engine, wcg.Config{
+			InitialQuorum: 1, SteadyQuorum: 1, Deadline: 2 * sim.Day,
+		})
+		for i := 0; i < 40; i++ {
+			srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 1, RefSeconds: 6 * sim.Hour}, 0)
+		}
+		cfg := DefaultHostConfig()
+		cfg.AbandonProb = 0
+		cfg.ErrorProb = 0
+		cfg.WorkBuffer = buffer
+		h := NewHost(0, engine, srv, cfg, rng.New(31))
+		h.Start()
+		engine.RunUntil(30 * sim.Day)
+		return srv.Stats.TimedOut
+	}
+	shallow := run(1)
+	deep := run(20)
+	if deep <= shallow {
+		t.Fatalf("deep buffer should time out more: %d vs %d", deep, shallow)
+	}
+}
+
+func TestWorkBufferDefaultUnchanged(t *testing.T) {
+	// Buffer 0/1 must behave exactly like the original fetch-one loop.
+	run := func(buffer int) int64 {
+		engine := sim.NewEngine()
+		srv := makeServer(t, engine, 10, 500)
+		cfg := DefaultHostConfig()
+		cfg.WorkBuffer = buffer
+		h := NewHost(0, engine, srv, cfg, rng.New(8))
+		h.Start()
+		engine.RunUntil(8 * sim.Week)
+		return srv.Stats.Received
+	}
+	if run(0) != run(1) {
+		t.Fatal("buffer 0 and 1 should be identical")
+	}
+}

@@ -1,0 +1,127 @@
+package wcg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/protein"
+	"repro/internal/workunit"
+)
+
+func TestLoadForPaperCampaign(t *testing.T) {
+	c := DefaultServerCapacity()
+	// The deployed campaign: ~3.94 M workunits × 1.37 redundancy over
+	// 26 weeks ⇒ ~0.7 tx/s — easily sustainable, as it was in practice.
+	load := c.LoadFor(3936010, 1.37, 26*7*86400)
+	if load < 0.5 || load > 1.5 {
+		t.Fatalf("load = %v tx/s", load)
+	}
+	if !c.Sustainable(load) {
+		t.Fatal("the production campaign must be sustainable")
+	}
+}
+
+func TestLoadForPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultServerCapacity().LoadFor(1, 1, 0)
+}
+
+func TestLoadClampsRedundancy(t *testing.T) {
+	c := DefaultServerCapacity()
+	if c.LoadFor(100, 0.5, 100) != c.LoadFor(100, 1, 100) {
+		t.Fatal("redundancy below 1 should clamp")
+	}
+}
+
+func TestMaxWorkunits(t *testing.T) {
+	c := ServerCapacity{TransactionsPerSecond: 100, TxPerResult: 2, UtilizationTarget: 0.5}
+	// Budget: 100 × 0.5 × 1000 s = 50,000 tx ⇒ 25,000 copies ⇒ at
+	// redundancy 1, 25,000 workunits.
+	if got := c.MaxWorkunits(1, 1000); got != 25000 {
+		t.Fatalf("max = %d", got)
+	}
+	if got := c.MaxWorkunits(2, 1000); got != 12500 {
+		t.Fatalf("max at redundancy 2 = %d", got)
+	}
+}
+
+func TestMinWantedHoursMonotone(t *testing.T) {
+	ds := protein.Generate(12, 5)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 2})
+	count := func(h float64) int64 { return workunit.NewPlan(ds, m, h).Count() }
+
+	// A tight server forces long workunits; a loose one allows short ones.
+	tight := ServerCapacity{TransactionsPerSecond: 1, TxPerResult: 2, UtilizationTarget: 0.01}
+	loose := ServerCapacity{TransactionsPerSecond: 1e6, TxPerResult: 2, UtilizationTarget: 1}
+	week := 7 * 86400.0
+
+	hLoose, cLoose, err := loose.MinWantedHours(count, 1.37, 26*week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLoose != 0.1 {
+		t.Fatalf("loose server should allow the minimum h, got %v", hLoose)
+	}
+	if cLoose != count(0.1) {
+		t.Fatalf("count mismatch")
+	}
+
+	hTight, cTight, err := tight.MinWantedHours(count, 1.37, 26*week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hTight <= hLoose {
+		t.Fatalf("tight server must force longer workunits: %v vs %v", hTight, hLoose)
+	}
+	if cTight > tight.MaxWorkunits(1.37, 26*week) {
+		t.Fatalf("returned packaging exceeds capacity: %d", cTight)
+	}
+}
+
+func TestMinWantedHoursInfeasible(t *testing.T) {
+	count := func(h float64) int64 { return 1 << 40 } // absurd constant load
+	c := ServerCapacity{TransactionsPerSecond: 1, TxPerResult: 2, UtilizationTarget: 0.1}
+	if _, _, err := c.MinWantedHours(count, 1, 86400); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestRecommendWantedHours(t *testing.T) {
+	ds := protein.Generate(12, 5)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 2})
+	plan := workunit.NewPlan(ds, m, 10)
+	week := 7 * 86400.0
+
+	// A normal server: the recommendation respects the human factor.
+	h, err := RecommendWantedHours(plan, DefaultServerCapacity(), 1.37, 26*week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1 || h > HumanFactorHours {
+		t.Fatalf("recommended h = %v", h)
+	}
+
+	// A starved server: needs workunits longer than volunteers accept.
+	starved := ServerCapacity{TransactionsPerSecond: 0.0004, TxPerResult: 2, UtilizationTarget: 0.1}
+	if _, err := RecommendWantedHours(plan, starved, 1.37, 26*week); err == nil {
+		t.Fatal("expected human-factor conflict")
+	}
+}
+
+func TestTransactionsEstimate(t *testing.T) {
+	copies, tx, rate := TransactionsEstimate(1000, 1.37, 1000)
+	if copies != 1370 {
+		t.Fatalf("copies = %d", copies)
+	}
+	if tx != 2740 {
+		t.Fatalf("tx = %d", tx)
+	}
+	if math.Abs(rate-2.74) > 1e-12 {
+		t.Fatalf("rate = %v", rate)
+	}
+}

@@ -1,0 +1,139 @@
+package wcg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workunit"
+)
+
+// TestServerInvariantsUnderRandomTraffic drives the server with randomized
+// agent behaviour (complete / error / vanish / late return, random delays,
+// mid-run quorum switch) and asserts the accounting invariants hold in
+// every reachable state.
+func TestServerInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed uint64, nWU8 uint8, quorum2 bool) bool {
+		r := rng.New(seed)
+		engine := sim.NewEngine()
+		initial := 1
+		if quorum2 {
+			initial = 2
+		}
+		srv := NewServer(engine, Config{
+			InitialQuorum:    initial,
+			SteadyQuorum:     1,
+			QuorumSwitchTime: 30 * sim.Day,
+			Deadline:         5 * sim.Day,
+		})
+		nWU := int(nWU8%40) + 1
+		for i := 0; i < nWU; i++ {
+			srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 2, RefSeconds: 100}, 0)
+		}
+		// A pool of randomized agents served by one polling loop.
+		agents := r.Intn(8) + 1
+		var loop func()
+		loop = func() {
+			for k := 0; k < agents; k++ {
+				a := srv.RequestWork()
+				if a == nil {
+					break
+				}
+				switch r.Intn(10) {
+				case 0: // vanish: deadline will fire
+				case 1: // invalid result after a short delay
+					delay := r.Float64() * 3 * sim.Day
+					engine.After(delay, func() { srv.Complete(a, OutcomeInvalid, delay) })
+				case 2: // very late valid result (after the deadline)
+					delay := 5*sim.Day + r.Float64()*10*sim.Day
+					engine.After(delay, func() { srv.Complete(a, OutcomeValid, delay) })
+				default: // normal valid result
+					delay := r.Float64() * 2 * sim.Day
+					engine.After(delay, func() { srv.Complete(a, OutcomeValid, delay) })
+				}
+			}
+			engine.After(6*sim.Hour, loop)
+		}
+		loop()
+		engine.RunUntil(200 * sim.Day)
+
+		st := srv.Stats
+		// Invariants.
+		if st.Completed != int64(nWU) {
+			return false // everything must eventually complete
+		}
+		if st.Useful+st.Wasted+st.Invalid != st.Received {
+			return false
+		}
+		if st.Valid > st.Received || st.Completed > st.Valid {
+			return false
+		}
+		if st.Sent < st.Completed {
+			return false
+		}
+		if st.RedundancyFactor() < 1 {
+			return false
+		}
+		// No workunit may have negative outstanding copies.
+		for i := srv.qHead; i < len(srv.queue); i++ {
+			if wuState := srv.queue[i]; wuState != nil && wuState.outstanding < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerDrainAfterQuorumDrop floods the server during the quorum-2 era
+// and checks no workunit is orphaned by the switch (the regression the
+// maybeComplete fix addresses).
+func TestServerDrainAfterQuorumDrop(t *testing.T) {
+	engine := sim.NewEngine()
+	srv := NewServer(engine, Config{
+		InitialQuorum:    2,
+		SteadyQuorum:     1,
+		QuorumSwitchTime: 10 * sim.Day,
+		Deadline:         3 * sim.Day,
+	})
+	const n = 200
+	for i := 0; i < n; i++ {
+		srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 1, RefSeconds: 1}, 0)
+	}
+	// Era 1: every workunit gets exactly one valid return; the second copy
+	// vanishes (timeout).
+	for {
+		a := srv.RequestWork()
+		if a == nil {
+			break
+		}
+		if a.WU.validReturns == 0 && a.WU.outstanding == 1 {
+			srv.Complete(a, OutcomeValid, 1)
+		}
+		// else: leave the copy to time out
+	}
+	// Cross the switch and let the timeouts + reissues play out.
+	engine.RunUntil(60 * sim.Day)
+	for {
+		a := srv.RequestWork()
+		if a == nil {
+			break
+		}
+		srv.Complete(a, OutcomeValid, 1)
+	}
+	engine.RunUntil(120 * sim.Day)
+	// One more pass: reissues scheduled by late timeouts.
+	for {
+		a := srv.RequestWork()
+		if a == nil {
+			break
+		}
+		srv.Complete(a, OutcomeValid, 1)
+	}
+	if srv.Stats.Completed != n {
+		t.Fatalf("completed %d of %d after quorum drop", srv.Stats.Completed, n)
+	}
+}

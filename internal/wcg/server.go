@@ -1,0 +1,348 @@
+// Package wcg implements the volunteer-grid middleware: the server side of
+// a BOINC / Grid MP style desktop grid as described in §3.1 of the paper.
+//
+// The server hosts a database of workunits. Volunteer agents contact it to
+// fetch work, compute, and send results back. The middleware implements the
+// reliability machinery the paper describes:
+//
+//   - redundant computing (§5.1): more than one copy of a workunit may be
+//     sent out, either for quorum validation (results compared against each
+//     other) or because a copy timed out or came back invalid. Late results
+//     from long-offline volunteers are still accepted and counted, which is
+//     why only ~73 % of received results are useful and the overall
+//     redundancy factor is 1.37;
+//   - validation (§5.2): with quorum 1, results are checked by value
+//     (file/line/range checks); with quorum ≥ 2, matching copies validate
+//     each other;
+//   - timeouts and retransmission: a copy not returned by its deadline is
+//     reissued.
+//
+// The server is driven by a discrete-event engine; it has no goroutines of
+// its own and is deterministic given the engine's event order.
+package wcg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workunit"
+)
+
+// Outcome describes how a computation attempt ended, from the server's
+// point of view.
+type Outcome int
+
+const (
+	// OutcomeValid is a correct result returned before (or even after)
+	// the deadline.
+	OutcomeValid Outcome = iota
+	// OutcomeInvalid is a returned result that fails validation.
+	OutcomeInvalid
+)
+
+// WUState tracks one distinct workunit through its life cycle.
+type WUState struct {
+	WU workunit.Workunit
+
+	// Copies currently in the hands of volunteers.
+	outstanding int
+	// Valid results received so far (for quorum validation).
+	validReturns int
+	// Completed reports whether the workunit has been validated and
+	// assimilated.
+	Completed bool
+	// Batch the workunit belongs to (campaign bookkeeping).
+	Batch int
+}
+
+// Config tunes the middleware policies.
+type Config struct {
+	// InitialQuorum is the number of matching results required while the
+	// project validates by comparison (the early, cautious period §5.1).
+	InitialQuorum int
+	// SteadyQuorum is the quorum after the project switches to value-based
+	// validation (range checks on the result files).
+	SteadyQuorum int
+	// QuorumSwitchTime is the simulation time at which validation switches
+	// from InitialQuorum to SteadyQuorum. Zero means immediately.
+	QuorumSwitchTime sim.Time
+	// Deadline is how long a copy may stay out before it is considered
+	// timed out and a replacement is issued.
+	Deadline float64
+}
+
+// DefaultConfig mirrors the production deployment: quorum-2 comparison
+// validation for the first weeks, then value-checked single results, with a
+// 12-day return deadline.
+func DefaultConfig() Config {
+	return Config{
+		InitialQuorum:    2,
+		SteadyQuorum:     1,
+		QuorumSwitchTime: 14 * sim.Week,
+		Deadline:         8 * sim.Day,
+	}
+}
+
+// Stats aggregates the server-side accounting the paper reports in
+// Figure 6(b) and §5.1.
+type Stats struct {
+	Sent          int64 // copies handed to volunteers
+	Received      int64 // results returned (valid or not)
+	Valid         int64 // results passing validation
+	Useful        int64 // valid results that completed a workunit need
+	Wasted        int64 // valid but redundant results (already validated)
+	Invalid       int64 // results failing validation
+	TimedOut      int64 // copies reissued after missing the deadline
+	Completed     int64 // distinct workunits validated
+	CPUSeconds    float64
+	WastedSeconds float64
+}
+
+// RedundancyFactor returns copies-sent per distinct workunit completed —
+// the paper's 1.37.
+func (s Stats) RedundancyFactor() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.Sent) / float64(s.Completed)
+}
+
+// UsefulFraction returns the fraction of received results that correspond
+// to distinct completed workunits — the paper's 73 % (3,936,010 effective
+// results out of 5,418,010 received). Quorum duplicates, late returns and
+// invalid results make up the remainder.
+func (s Stats) UsefulFraction() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Received)
+}
+
+// Assignment is a copy of a workunit handed to a volunteer.
+type Assignment struct {
+	WU       *WUState
+	IssuedAt sim.Time
+	deadline *sim.Event
+	returned bool
+}
+
+// Server is the volunteer-grid work distributor.
+type Server struct {
+	cfg    Config
+	engine *sim.Engine
+
+	queue   []*WUState // FIFO of workunits needing more copies out
+	qHead   int
+	pending map[*WUState]bool // in queue or awaiting more copies
+
+	Stats Stats
+
+	// OnComplete, if non-nil, is invoked when a distinct workunit is
+	// validated (used by the campaign orchestrator for progression and
+	// batch release).
+	OnComplete func(*WUState)
+
+	// OnWeekCPU, if non-nil, receives (weekIndex, cpuSeconds) for every
+	// returned result, for the Figure 6(a) weekly VFTP series.
+	OnWeekCPU func(week int, cpuSeconds float64)
+}
+
+// NewServer creates a server bound to the simulation engine.
+func NewServer(engine *sim.Engine, cfg Config) *Server {
+	if cfg.InitialQuorum < 1 || cfg.SteadyQuorum < 1 {
+		panic("wcg: quorum must be at least 1")
+	}
+	if cfg.Deadline <= 0 {
+		panic("wcg: deadline must be positive")
+	}
+	return &Server{
+		cfg:     cfg,
+		engine:  engine,
+		pending: make(map[*WUState]bool),
+	}
+}
+
+// quorum returns the quorum in force at the current simulation time.
+func (s *Server) quorum() int {
+	if s.engine.Now() < s.cfg.QuorumSwitchTime {
+		return s.cfg.InitialQuorum
+	}
+	return s.cfg.SteadyQuorum
+}
+
+// AddWorkunit registers a distinct workunit for distribution.
+func (s *Server) AddWorkunit(wu workunit.Workunit, batch int) *WUState {
+	st := &WUState{WU: wu, Batch: batch}
+	s.enqueue(st)
+	return st
+}
+
+func (s *Server) enqueue(st *WUState) {
+	if s.pending[st] || st.Completed {
+		return
+	}
+	s.pending[st] = true
+	s.queue = append(s.queue, st)
+}
+
+// compactQueue drops the consumed prefix once it dominates the slice.
+func (s *Server) compactQueue() {
+	if s.qHead > 1024 && s.qHead*2 > len(s.queue) {
+		n := copy(s.queue, s.queue[s.qHead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qHead = 0
+	}
+}
+
+// HasWork reports whether a work request would succeed.
+func (s *Server) HasWork() bool {
+	for i := s.qHead; i < len(s.queue); i++ {
+		st := s.queue[i]
+		if st != nil && !st.Completed && s.needsCopies(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// needsCopies reports whether more copies of st should be out, given the
+// quorum currently in force.
+func (s *Server) needsCopies(st *WUState) bool {
+	return st.validReturns+st.outstanding < s.quorum()
+}
+
+// maybeComplete validates st against the quorum currently in force. This
+// matters when the quorum is lowered mid-project (§5.1): a workunit that
+// already holds enough valid returns under the new quorum completes without
+// waiting for further copies.
+func (s *Server) maybeComplete(st *WUState) {
+	if st.Completed || st.validReturns < s.quorum() {
+		return
+	}
+	st.Completed = true
+	s.Stats.Completed++
+	if s.OnComplete != nil {
+		s.OnComplete(st)
+	}
+}
+
+// RequestWork hands out one copy, or nil if no work is available. The
+// deadline timer for the copy starts immediately.
+func (s *Server) RequestWork() *Assignment {
+	for s.qHead < len(s.queue) {
+		st := s.queue[s.qHead]
+		if st != nil {
+			s.maybeComplete(st)
+		}
+		if st == nil || st.Completed || !s.needsCopies(st) {
+			s.queue[s.qHead] = nil
+			s.qHead++
+			delete(s.pending, st)
+			s.compactQueue()
+			continue
+		}
+		st.outstanding++
+		// If the workunit still needs more copies (quorum > 1), leave it
+		// at the queue head; otherwise it is consumed for now.
+		if !s.needsCopies(st) {
+			s.queue[s.qHead] = nil
+			s.qHead++
+			delete(s.pending, st)
+			s.compactQueue()
+		}
+		s.Stats.Sent++
+		a := &Assignment{WU: st, IssuedAt: s.engine.Now()}
+		a.deadline = s.engine.After(s.cfg.Deadline, func() { s.timeout(a) })
+		return a
+	}
+	return nil
+}
+
+// timeout fires when a copy misses its deadline: the server issues a
+// replacement. The late copy may still come back and be counted (§5.1).
+func (s *Server) timeout(a *Assignment) {
+	if a.returned || a.WU.Completed {
+		return
+	}
+	s.Stats.TimedOut++
+	a.WU.outstanding--
+	a.returned = true // the original assignment no longer counts as live
+	s.maybeComplete(a.WU)
+	if !a.WU.Completed {
+		s.enqueue(a.WU)
+	}
+}
+
+// Complete reports a result for an assignment. cpuSeconds is the run time
+// the agent reports (wall-clock based for the UD agent, §6). Late results
+// (after timeout) are accepted: their CPU time was spent and is accounted,
+// and if the workunit still needed a result they validate it.
+func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
+	if a == nil {
+		panic("wcg: Complete(nil)")
+	}
+	late := a.returned
+	if !late {
+		a.returned = true
+		s.engine.Cancel(a.deadline)
+		a.WU.outstanding--
+	}
+	s.Stats.Received++
+	s.Stats.CPUSeconds += cpuSeconds
+	if s.OnWeekCPU != nil {
+		s.OnWeekCPU(sim.Calendar{}.WeekIndex(s.engine.Now()), cpuSeconds)
+	}
+
+	if outcome == OutcomeInvalid {
+		s.Stats.Invalid++
+		s.Stats.WastedSeconds += cpuSeconds
+		if !a.WU.Completed {
+			s.enqueue(a.WU)
+		}
+		return
+	}
+
+	s.Stats.Valid++
+	if a.WU.Completed {
+		// Redundant: workunit already validated (late or extra copy).
+		s.Stats.Wasted++
+		s.Stats.WastedSeconds += cpuSeconds
+		return
+	}
+	a.WU.validReturns++
+	if a.WU.validReturns >= s.quorum() {
+		a.WU.Completed = true
+		s.Stats.Useful++
+		s.Stats.Completed++
+		if s.OnComplete != nil {
+			s.OnComplete(a.WU)
+		}
+		return
+	}
+	// Quorum not yet met: the result is useful (it advances the quorum).
+	s.Stats.Useful++
+	if s.needsCopies(a.WU) {
+		s.enqueue(a.WU)
+	}
+}
+
+// PendingCount returns the number of workunits still waiting for copies or
+// validation (approximate queue depth; completed entries are skipped).
+func (s *Server) PendingCount() int {
+	n := 0
+	for i := s.qHead; i < len(s.queue); i++ {
+		if st := s.queue[i]; st != nil && !st.Completed {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the server state for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("wcg.Server{sent=%d received=%d valid=%d completed=%d redundancy=%.3f}",
+		s.Stats.Sent, s.Stats.Received, s.Stats.Valid, s.Stats.Completed, s.Stats.RedundancyFactor())
+}
