@@ -1,0 +1,158 @@
+// Command sweep explores the HCMD design space: it fans named what-if
+// scenarios × replications out across all cores, aggregates each scenario's
+// replications into means with 95 % confidence intervals, and checkpoints
+// every completed run so an interrupted sweep resumes where it stopped.
+//
+// Usage:
+//
+//	sweep -list
+//	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
+//	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
+//
+// Examples:
+//
+//	sweep -scenarios all -reps 3 -scale 0.02      # full catalog, 3 reps
+//	sweep -scenarios quorum-1,quorum-2 -reps 10   # one ablation, tight CIs
+//	sweep -resume                                 # continue a killed sweep
+//
+// With -out the sweep also writes sweep.json (all runs + aggregates) and
+// sweep.csv (per-scenario mean/std/ci95 rows).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "print the scenario catalog and exit")
+	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+	reps := flag.Int("reps", 3, "replications per scenario")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	scale := flag.Float64("scale", 1.0/84, "work and host scale (0 < s <= 1)")
+	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
+	seed := flag.Uint64("seed", 0, "sweep base seed (0 = campaign default)")
+	ckptPath := flag.String("checkpoint", "sweep.ckpt.jsonl", "checkpoint file (JSON lines, one per completed run)")
+	resume := flag.Bool("resume", false, "reuse completed runs from the checkpoint instead of starting over")
+	out := flag.String("out", "", "directory for sweep.json and sweep.csv (optional)")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	flag.Parse()
+
+	if *list {
+		t := report.NewTable("Scenario catalog", "name", "description")
+		for _, s := range experiment.Catalog() {
+			t.AddRow(s.Name, s.Description)
+		}
+		fmt.Print(t.String())
+		return nil
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale must be in (0, 1], got %v", *scale)
+	}
+
+	selected, err := experiment.Select(*scenarios)
+	if err != nil {
+		return err
+	}
+	ckpt, err := experiment.OpenCheckpoint(*ckptPath, *resume)
+	if err != nil {
+		return err
+	}
+	defer ckpt.Close()
+	if *resume && ckpt.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "resuming: %d completed runs loaded from %s\n", ckpt.Len(), *ckptPath)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	total := len(selected) * *reps
+	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g)\n",
+		len(selected), *reps, total, nWorkers, *scale)
+
+	sys := core.NewHCMD()
+	start := time.Now()
+	opts := experiment.Options{
+		Scenarios:  selected,
+		Reps:       *reps,
+		Workers:    *workers,
+		BaseSeed:   *seed,
+		Checkpoint: ckpt,
+	}
+	if !*quiet {
+		opts.Progress = func(p experiment.Progress) {
+			tag := ""
+			if p.Resumed {
+				tag = " (resumed)"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, redundancy %.2f%s\n",
+				p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
+				p.Result.Metrics.MakespanWeeks, p.Result.Metrics.Redundancy, tag)
+		}
+	}
+	sweep, err := sys.RunExperiments(ctx, *scale, *hours, opts)
+	if err != nil {
+		if sweep != nil && len(sweep.Results) > 0 {
+			fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs; rerun with -resume to continue\n",
+				len(sweep.Results), total)
+			fmt.Print(experiment.Table(sweep.Aggregates).String())
+		}
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "done: %d runs (%d resumed) in %.1fs\n",
+		len(sweep.Results), sweep.Resumed, time.Since(start).Seconds())
+	fmt.Print(experiment.Table(sweep.Aggregates).String())
+
+	if *out != "" {
+		if err := writeOutputs(*out, sweep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep.json and sweep.csv written to %s\n", *out)
+	}
+	return ckpt.Close()
+}
+
+func writeOutputs(dir string, sweep *experiment.Sweep) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sweep.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "sweep.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiment.WriteCSV(f, sweep.Aggregates); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -5,5 +5,7 @@
 //
 // The public entry point is internal/core; the benchmark harness that
 // regenerates every table and figure of the paper lives in bench_test.go
-// (go test -bench=.). See README.md, DESIGN.md and EXPERIMENTS.md.
+// (go test -bench=.). The scenario-sweep engine in internal/experiment and
+// its cmd/sweep CLI explore the design space around the paper's deployment.
+// See README.md for a quickstart, the repository layout and sweep usage.
 package repro

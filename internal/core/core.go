@@ -20,8 +20,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/costmodel"
 	"repro/internal/docking"
+	"repro/internal/experiment"
 	"repro/internal/forecast"
 	"repro/internal/grid"
 	"repro/internal/project"
@@ -126,6 +129,22 @@ func (s *System) CampaignConfig(scale, hHours float64) project.Config {
 // given scale and returns the full report (Figures 6-8, Table 2 inputs).
 func (s *System) RunCampaign(scale, hHours float64) *project.Report {
 	return project.New(s.CampaignConfig(scale, hHours)).Run()
+}
+
+// RunExperiments fans a scenario sweep out across the machine: every
+// selected scenario × replication pair becomes one deterministic campaign
+// simulation scheduled on the experiment worker pool. Options.Base is
+// filled in from this system (at the given scale and workunit duration) when
+// the caller leaves it zero; the remaining options (scenarios, replication
+// count, worker bound, checkpoint, progress callback) pass through.
+func (s *System) RunExperiments(ctx context.Context, scale, hHours float64, opts experiment.Options) (*experiment.Sweep, error) {
+	if opts.Base.DS == nil {
+		opts.Base = s.CampaignConfig(scale, hHours)
+	}
+	if len(opts.Scenarios) == 0 {
+		opts.Scenarios = experiment.Catalog()
+	}
+	return experiment.Run(ctx, opts)
 }
 
 // DedicatedEquivalent returns how many dedicated reference processors match

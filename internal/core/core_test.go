@@ -4,8 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"context"
+
 	"repro/internal/costmodel"
 	"repro/internal/docking"
+	"repro/internal/experiment"
 	"repro/internal/forecast"
 )
 
@@ -190,4 +193,38 @@ func TestForecastFromRunShortCampaign(t *testing.T) {
 		t.Fatal("fallback normalization produced no estimate")
 	}
 	rep.Config.ControlWeeks = saved
+}
+
+func TestRunExperiments(t *testing.T) {
+	base := hcmd.CampaignConfig(1.0/168, 0)
+	base.HostScale = 0.002 // keep the test population tiny
+	scen, err := experiment.Select("baseline,quorum-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := hcmd.RunExperiments(context.Background(), 0, 0, experiment.Options{
+		Base:      base,
+		Scenarios: scen,
+		Reps:      2,
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 4 || len(sweep.Aggregates) != 2 {
+		t.Fatalf("sweep shape: %d results, %d aggregates", len(sweep.Results), len(sweep.Aggregates))
+	}
+	var q1, base2 experiment.Aggregate
+	for _, a := range sweep.Aggregates {
+		switch a.Scenario {
+		case "quorum-1":
+			q1 = a
+		case "baseline":
+			base2 = a
+		}
+	}
+	if q1.Redundancy.Mean >= base2.Redundancy.Mean {
+		t.Fatalf("quorum-1 redundancy %.2f should undercut baseline %.2f",
+			q1.Redundancy.Mean, base2.Redundancy.Mean)
+	}
 }

@@ -20,6 +20,7 @@ package credit
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -148,9 +149,18 @@ func (l *Ledger) PowerTrend() (perWeek float64, fit stats.LinearFit, ok bool) {
 	if len(l.devices) < 2 {
 		return 0, stats.LinearFit{}, false
 	}
+	// Iterate devices in ID order: map order is randomized, and the fit's
+	// floating-point sums are order-sensitive in their last bits, which
+	// would break the repository's bit-for-bit determinism guarantee.
+	ids := make([]int, 0, len(l.devices))
+	for id := range l.devices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	xs := make([]float64, 0, len(l.devices))
 	ys := make([]float64, 0, len(l.devices))
-	for _, d := range l.devices {
+	for _, id := range ids {
+		d := l.devices[id]
 		xs = append(xs, d.JoinedAt/(7*86400))
 		ys = append(ys, d.Score)
 	}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// CI is a cross-replication estimate: sample mean, sample standard
+// deviation, and the half-width of the normal-approximation 95 %
+// confidence interval (zero when there is a single replication).
+type CI struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Half float64 `json:"ci95"`
+}
+
+// z95 is the two-sided 95 % normal quantile.
+const z95 = 1.96
+
+// EstimateCI computes a CI over a sample.
+func EstimateCI(vals []float64) CI {
+	if len(vals) == 0 {
+		return CI{Mean: math.NaN(), Std: math.NaN(), Half: math.NaN()}
+	}
+	mean := stats.Mean(vals)
+	if len(vals) == 1 {
+		return CI{Mean: mean}
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(vals)-1)) // sample (n-1) std for the CI
+	return CI{Mean: mean, Std: std, Half: z95 * std / math.Sqrt(float64(len(vals)))}
+}
+
+// String renders "mean ± half" with a sensible precision.
+func (c CI) String() string { return fmt.Sprintf("%.2f ±%.2f", c.Mean, c.Half) }
+
+// Aggregate is one scenario's cross-replication summary.
+type Aggregate struct {
+	Scenario  string `json:"scenario"`
+	Reps      int    `json:"reps"`
+	Completed int    `json:"completed"` // replications that finished before MaxWeeks
+
+	Makespan   CI `json:"makespan_weeks"`
+	Redundancy CI `json:"redundancy"`
+	Useful     CI `json:"useful_fraction"`
+	VFTP       CI `json:"avg_vftp_whole"`
+	Factor     CI `json:"total_factor"`
+	Points     CI `json:"points_total"`
+}
+
+// Aggregated groups results by scenario (in the given presentation order)
+// and computes each group's cross-replication statistics. Scenarios with no
+// results are omitted.
+func Aggregated(order []string, results []RunResult) []Aggregate {
+	byName := make(map[string][]RunResult, len(order))
+	for _, r := range results {
+		byName[r.Scenario] = append(byName[r.Scenario], r)
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, name := range order {
+		group := byName[name]
+		if len(group) == 0 {
+			continue
+		}
+		pick := func(f func(Metrics) float64) CI {
+			vals := make([]float64, len(group))
+			for i, r := range group {
+				vals[i] = f(r.Metrics)
+			}
+			return EstimateCI(vals)
+		}
+		agg := Aggregate{
+			Scenario:   name,
+			Reps:       len(group),
+			Makespan:   pick(func(m Metrics) float64 { return m.MakespanWeeks }),
+			Redundancy: pick(func(m Metrics) float64 { return m.Redundancy }),
+			Useful:     pick(func(m Metrics) float64 { return m.UsefulFraction }),
+			VFTP:       pick(func(m Metrics) float64 { return m.AvgVFTPWhole }),
+			Factor:     pick(func(m Metrics) float64 { return m.TotalFactor }),
+			Points:     pick(func(m Metrics) float64 { return m.PointsTotal }),
+		}
+		for _, r := range group {
+			if r.Metrics.Completed {
+				agg.Completed++
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Table renders the aggregates as a fixed-width sweep report with 95 %
+// confidence intervals.
+func Table(aggs []Aggregate) *report.Table {
+	t := report.NewTable("Scenario sweep (mean ±95% CI across replications)",
+		"scenario", "reps", "done", "makespan wk", "redundancy", "useful %", "VFTP", "factor", "points")
+	for _, a := range aggs {
+		t.AddRow(
+			a.Scenario,
+			fmt.Sprintf("%d", a.Reps),
+			fmt.Sprintf("%d/%d", a.Completed, a.Reps),
+			fmt.Sprintf("%.1f ±%.1f", a.Makespan.Mean, a.Makespan.Half),
+			fmt.Sprintf("%.2f ±%.2f", a.Redundancy.Mean, a.Redundancy.Half),
+			fmt.Sprintf("%.0f ±%.0f", 100*a.Useful.Mean, 100*a.Useful.Half),
+			fmt.Sprintf("%.0f ±%.0f", a.VFTP.Mean, a.VFTP.Half),
+			fmt.Sprintf("%.2f ±%.2f", a.Factor.Mean, a.Factor.Half),
+			fmt.Sprintf("%s ±%s", report.Comma(a.Points.Mean), report.Comma(a.Points.Half)),
+		)
+	}
+	return t
+}
+
+// WriteCSV emits the aggregates as machine-readable CSV: one row per
+// scenario, mean/std/ci95 columns per metric.
+func WriteCSV(w io.Writer, aggs []Aggregate) error {
+	if _, err := fmt.Fprintln(w, "scenario,reps,completed,"+
+		"makespan_mean,makespan_std,makespan_ci95,"+
+		"redundancy_mean,redundancy_std,redundancy_ci95,"+
+		"useful_mean,useful_std,useful_ci95,"+
+		"vftp_mean,vftp_std,vftp_ci95,"+
+		"factor_mean,factor_std,factor_ci95,"+
+		"points_mean,points_std,points_ci95"); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d", a.Scenario, a.Reps, a.Completed); err != nil {
+			return err
+		}
+		for _, c := range []CI{a.Makespan, a.Redundancy, a.Useful, a.VFTP, a.Factor, a.Points} {
+			if _, err := fmt.Fprintf(w, ",%g,%g,%g", c.Mean, c.Std, c.Half); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint persists completed sweep cells as JSON lines so an interrupted
+// sweep resumes by skipping (scenario, rep) pairs that already ran. The file
+// is append-only: each completed cell is flushed to disk the moment it
+// finishes, so a kill at any point loses at most in-flight runs.
+//
+// Resume safety: the runner only reuses a recorded cell when its derived
+// seed and work scale match the current sweep, so a checkpoint from a sweep
+// with different parameters is ignored rather than silently mixed in.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	done map[Key]RunResult
+	f    *os.File
+	w    *bufio.Writer
+	err  error // first write error, reported at Close
+}
+
+// OpenCheckpoint opens (creating if needed) the checkpoint at path and loads
+// any cells a previous sweep recorded. With resume=false an existing file is
+// truncated: the sweep starts from scratch.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, done: make(map[Key]RunResult)}
+	if resume {
+		if data, err := os.ReadFile(path); err == nil {
+			// Parse line by line and skip torn lines rather than stopping:
+			// a sweep killed mid-write leaves one, and a later resume
+			// appends intact lines after it.
+			for _, line := range bytes.Split(data, []byte("\n")) {
+				if len(bytes.TrimSpace(line)) == 0 {
+					continue
+				}
+				var res RunResult
+				if err := json.Unmarshal(line, &res); err != nil {
+					continue
+				}
+				c.done[Key{Scenario: res.Scenario, Rep: res.Rep}] = res
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: open checkpoint: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriter(f)
+	return c, nil
+}
+
+// Len returns the number of cells loaded or recorded so far.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Lookup returns the recorded result for a cell, if any.
+func (c *Checkpoint) Lookup(k Key) (RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.done[k]
+	return res, ok
+}
+
+// Record persists one freshly completed cell and flushes it to disk.
+// Safe for concurrent use by the runner's workers.
+func (c *Checkpoint) Record(res RunResult) {
+	line, err := json.Marshal(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[Key{Scenario: res.Scenario, Rep: res.Rep}] = res
+	if err == nil {
+		_, err = c.w.Write(append(line, '\n'))
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// Close flushes and closes the checkpoint file, returning the first error
+// encountered while recording, if any.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return c.err
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	switch {
+	case c.err != nil:
+		return c.err
+	case ferr != nil:
+		return ferr
+	default:
+		return cerr
+	}
+}

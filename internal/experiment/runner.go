@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/project"
+	"repro/internal/rng"
+)
+
+// Metrics is the per-run outcome summary the sweep aggregates: the paper's
+// headline quantities extracted from a campaign report.
+type Metrics struct {
+	Completed      bool    `json:"completed"`
+	MakespanWeeks  float64 `json:"makespan_weeks"`
+	Redundancy     float64 `json:"redundancy"`      // copies sent per distinct workunit
+	UsefulFraction float64 `json:"useful_fraction"` // distinct completions per received result
+	AvgVFTPWhole   float64 `json:"avg_vftp_whole"`
+	AvgVFTPFull    float64 `json:"avg_vftp_full"`
+	TotalFactor    float64 `json:"total_factor"` // end-to-end CPU inflation
+	CPUSeconds     float64 `json:"cpu_seconds"`
+	PointsTotal    float64 `json:"points_total"` // §8 credit accounting
+	DistinctWUs    int64   `json:"distinct_wus"`
+}
+
+// ExtractMetrics reduces a campaign report to sweep metrics.
+func ExtractMetrics(rep *project.Report) Metrics {
+	return Metrics{
+		Completed:      rep.Completed,
+		MakespanWeeks:  rep.WeeksElapsed,
+		Redundancy:     rep.ServerStats.RedundancyFactor(),
+		UsefulFraction: rep.ServerStats.UsefulFraction(),
+		AvgVFTPWhole:   rep.AvgVFTPWhole,
+		AvgVFTPFull:    rep.AvgVFTPFullPower,
+		TotalFactor:    rep.TotalFactor(),
+		CPUSeconds:     rep.ServerStats.CPUSeconds,
+		PointsTotal:    rep.PointsTotal,
+		DistinctWUs:    rep.DistinctWUs,
+	}
+}
+
+// RunResult is one completed (scenario, replication) cell of a sweep. Seed,
+// Scale and HHours record the sweep parameters the cell ran under so a
+// checkpoint from a differently-parameterized sweep is never reused.
+type RunResult struct {
+	Scenario string  `json:"scenario"`
+	Rep      int     `json:"rep"`
+	Seed     uint64  `json:"seed"`
+	Scale    float64 `json:"scale"`
+	HHours   float64 `json:"h_hours"`
+	Metrics  Metrics `json:"metrics"`
+}
+
+// Key identifies a sweep cell for checkpoint resume.
+type Key struct {
+	Scenario string
+	Rep      int
+}
+
+// Progress is delivered to the Options.Progress callback after every cell,
+// from the goroutine that finished it.
+type Progress struct {
+	Done    int // cells finished so far (resumed ones included)
+	Total   int // cells in the sweep
+	Resumed bool
+	Result  RunResult
+}
+
+// Options parameterizes a sweep.
+type Options struct {
+	// Base is the already-scaled campaign configuration each scenario
+	// mutates a copy of. Its DS and M are shared read-only across workers.
+	Base project.Config
+
+	Scenarios []Scenario
+	Reps      int // replications per scenario (≥ 1)
+
+	// Workers bounds the goroutine pool; 0 means GOMAXPROCS.
+	Workers int
+
+	// BaseSeed is mixed with the scenario and replication indexes to derive
+	// each run's seed; 0 falls back to Base.Seed.
+	BaseSeed uint64
+
+	// Checkpoint, when non-nil, is consulted before each cell (completed
+	// cells are skipped) and receives every freshly completed cell.
+	Checkpoint *Checkpoint
+
+	// Progress, when non-nil, is called after every cell. Calls are
+	// serialized by the runner's internal lock.
+	Progress func(Progress)
+}
+
+// Sweep is a completed sweep: every cell result in deterministic
+// (scenario, replication) order plus the per-scenario aggregates.
+type Sweep struct {
+	Results    []RunResult `json:"results"`
+	Aggregates []Aggregate `json:"aggregates"`
+	Resumed    int         `json:"resumed"` // cells satisfied from the checkpoint
+}
+
+// DeriveSeed mixes the sweep base seed with a cell's scenario and
+// replication indexes into an independent per-run seed. The derivation
+// depends only on these three values, so a cell's simulation is identical
+// no matter which worker runs it or in which order.
+func DeriveSeed(base uint64, scenario, rep int) uint64 {
+	const goldenGamma = 0x9e3779b97f4a7c15
+	const mixGamma = 0xbf58476d1ce4e5b9
+	return rng.New(base ^ uint64(scenario+1)*goldenGamma ^ uint64(rep+1)*mixGamma).Uint64()
+}
+
+// Run executes the sweep: Scenarios × Reps campaign simulations fanned out
+// over a bounded worker pool. Each simulation is single-threaded and
+// deterministic in its derived seed; only scheduling is concurrent, so the
+// returned results and aggregates are independent of Workers. Cancelling
+// ctx stops handing out new cells (in-flight simulations finish) and Run
+// returns the context error alongside the partial sweep.
+func Run(ctx context.Context, opts Options) (*Sweep, error) {
+	if opts.Base.DS == nil || opts.Base.M == nil {
+		return nil, fmt.Errorf("experiment: Options.Base needs dataset and matrix")
+	}
+	if len(opts.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiment: no scenarios selected")
+	}
+	if opts.Reps < 1 {
+		return nil, fmt.Errorf("experiment: Reps must be ≥ 1, got %d", opts.Reps)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	baseSeed := opts.BaseSeed
+	if baseSeed == 0 {
+		baseSeed = opts.Base.Seed
+	}
+
+	type cell struct {
+		scenIdx int
+		rep     int
+	}
+	cells := make([]cell, 0, len(opts.Scenarios)*opts.Reps)
+	for si := range opts.Scenarios {
+		for r := 0; r < opts.Reps; r++ {
+			cells = append(cells, cell{scenIdx: si, rep: r})
+		}
+	}
+	total := len(cells)
+	results := make([]RunResult, total)
+
+	var (
+		mu      sync.Mutex
+		done    int
+		resumed int
+	)
+	finish := func(i int, res RunResult, fromCkpt bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = res
+		done++
+		if fromCkpt {
+			resumed++
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{Done: done, Total: total, Resumed: fromCkpt, Result: res})
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cells[i]
+				sc := opts.Scenarios[c.scenIdx]
+				seed := DeriveSeed(baseSeed, c.scenIdx, c.rep)
+				key := Key{Scenario: sc.Name, Rep: c.rep}
+				if opts.Checkpoint != nil {
+					if prev, ok := opts.Checkpoint.Lookup(key); ok &&
+						prev.Seed == seed && prev.Scale == opts.Base.WorkScale &&
+						prev.HHours == opts.Base.HHours {
+						finish(i, prev, true)
+						continue
+					}
+				}
+				cfg := opts.Base // shallow copy; DS and M stay shared read-only
+				cfg.Seed = seed
+				sc.Mutate(&cfg)
+				cfg.Seed = seed // a mutator must not undo the derived seed
+				res := RunResult{
+					Scenario: sc.Name,
+					Rep:      c.rep,
+					Seed:     seed,
+					Scale:    opts.Base.WorkScale,
+					HHours:   opts.Base.HHours,
+					Metrics:  ExtractMetrics(project.New(cfg).Run()),
+				}
+				if opts.Checkpoint != nil {
+					opts.Checkpoint.Record(res)
+				}
+				finish(i, res, false)
+			}
+		}()
+	}
+
+	var ctxErr error
+dispatch:
+	for i := range cells {
+		select {
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break dispatch
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if ctxErr != nil {
+		// Keep only the cells that actually finished, in order.
+		partial := make([]RunResult, 0, done)
+		for _, r := range results {
+			if r.Scenario != "" {
+				partial = append(partial, r)
+			}
+		}
+		sw := &Sweep{Results: partial, Resumed: resumed}
+		sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), partial)
+		return sw, ctxErr
+	}
+	sw := &Sweep{Results: results, Resumed: resumed}
+	sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), results)
+	return sw, nil
+}
+
+func orderedNames(scenarios []Scenario) []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	return names
+}

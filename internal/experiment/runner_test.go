@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/project"
+	"repro/internal/protein"
+)
+
+// testBase returns a tiny, fast campaign configuration: 10 proteins with a
+// sub-sampled grid population, finishing in well under a second per run.
+func testBase(t *testing.T) project.Config {
+	t.Helper()
+	ds := protein.Generate(10, 31)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 32})
+	cfg := project.DefaultConfig(ds, m)
+	cfg.WorkScale = 0.3
+	cfg.HostScale = 0.002
+	cfg.Seed = 1234
+	return cfg
+}
+
+func testScenarios() []Scenario {
+	quorum1, _ := Lookup("quorum-1")
+	return []Scenario{
+		{Name: "base", Description: "no-op", Mutate: func(*project.Config) {}},
+		quorum1,
+		{Name: "slow", Description: "coarse workunits", Mutate: func(cfg *project.Config) { cfg.HHours = 8 }},
+	}
+}
+
+func TestSweepIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Sweep {
+		sw, err := Run(context.Background(), Options{
+			Base:      testBase(t),
+			Scenarios: testScenarios(),
+			Reps:      3,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Results, parallel.Results) {
+		t.Fatal("per-run results differ between -workers=1 and -workers=8")
+	}
+	if !reflect.DeepEqual(serial.Aggregates, parallel.Aggregates) {
+		t.Fatal("aggregates differ between -workers=1 and -workers=8")
+	}
+	if len(serial.Results) != 9 {
+		t.Fatalf("expected 9 cells, got %d", len(serial.Results))
+	}
+	// Cells are reported in deterministic (scenario, rep) order.
+	for i, r := range serial.Results {
+		if want := testScenarios()[i/3].Name; r.Scenario != want || r.Rep != i%3 {
+			t.Fatalf("cell %d = (%s, %d), want (%s, %d)", i, r.Scenario, r.Rep, want, i%3)
+		}
+	}
+}
+
+func TestSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt.jsonl")
+	base := testBase(t)
+	opts := Options{Base: base, Scenarios: testScenarios(), Reps: 2, Workers: 2}
+
+	ckpt, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = ckpt
+	first, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Resumed != 0 {
+		t.Fatalf("fresh sweep resumed %d cells", first.Resumed)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Len() != len(first.Results) {
+		t.Fatalf("checkpoint reloaded %d cells, want %d", ckpt2.Len(), len(first.Results))
+	}
+	opts.Checkpoint = ckpt2
+	second, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed != len(first.Results) {
+		t.Fatalf("resumed %d cells, want all %d", second.Resumed, len(first.Results))
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("resumed sweep changed the results")
+	}
+
+	// A different base seed invalidates the recorded cells: nothing resumes.
+	opts.BaseSeed = 999
+	third, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Resumed != 0 {
+		t.Fatalf("checkpoint with stale seeds resumed %d cells", third.Resumed)
+	}
+
+	// So does a different workunit duration at the same seed.
+	opts.BaseSeed = 0
+	opts.Base.HHours = base.HHours * 2
+	fourth, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Resumed != 0 {
+		t.Fatalf("checkpoint with stale HHours resumed %d cells", fourth.Resumed)
+	}
+}
+
+func TestCheckpointSurvivesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt.jsonl")
+	opts := Options{Base: testBase(t), Scenarios: testScenarios(), Reps: 1, Workers: 1}
+
+	ckpt, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = ckpt
+	first, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-write: a torn line in the middle of the file,
+	// with intact lines appended after it by a later resumed sweep.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("expected ≥3 checkpoint lines, got %d", len(lines))
+	}
+	corrupt := append([]byte{}, lines[0]...)
+	corrupt = append(corrupt, []byte("{\"torn\n")...)
+	for _, l := range lines[1:] {
+		corrupt = append(corrupt, l...)
+	}
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Len() != len(first.Results) {
+		t.Fatalf("torn line dropped intact cells: loaded %d, want %d", ckpt2.Len(), len(first.Results))
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no cell should be dispatched
+	sw, err := Run(ctx, Options{Base: testBase(t), Scenarios: testScenarios(), Reps: 2, Workers: 2})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if len(sw.Results) != 0 {
+		t.Fatalf("cancelled-before-start sweep ran %d cells", len(sw.Results))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := testBase(t)
+	if _, err := Run(context.Background(), Options{Scenarios: testScenarios(), Reps: 1}); err == nil {
+		t.Fatal("expected error for missing base config")
+	}
+	if _, err := Run(context.Background(), Options{Base: base, Reps: 1}); err == nil {
+		t.Fatal("expected error for empty scenario list")
+	}
+	if _, err := Run(context.Background(), Options{Base: base, Scenarios: testScenarios(), Reps: 0}); err == nil {
+		t.Fatal("expected error for zero reps")
+	}
+}
+
+func TestEstimateCI(t *testing.T) {
+	c := EstimateCI([]float64{2, 4, 6})
+	if c.Mean != 4 {
+		t.Fatalf("mean = %v", c.Mean)
+	}
+	if math.Abs(c.Std-2) > 1e-12 {
+		t.Fatalf("sample std = %v, want 2", c.Std)
+	}
+	if math.Abs(c.Half-1.96*2/math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("ci half-width = %v", c.Half)
+	}
+	if one := EstimateCI([]float64{5}); one.Mean != 5 || one.Std != 0 || one.Half != 0 {
+		t.Fatalf("single-sample CI = %+v", one)
+	}
+	if empty := EstimateCI(nil); !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty CI = %+v", empty)
+	}
+}
+
+func TestAggregateAndRendering(t *testing.T) {
+	sw, err := Run(context.Background(), Options{
+		Base:      testBase(t),
+		Scenarios: testScenarios(),
+		Reps:      2,
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Aggregates) != 3 {
+		t.Fatalf("aggregates = %d, want 3", len(sw.Aggregates))
+	}
+	for _, a := range sw.Aggregates {
+		if a.Reps != 2 {
+			t.Fatalf("%s: reps = %d", a.Scenario, a.Reps)
+		}
+		if a.Makespan.Mean <= 0 || math.IsNaN(a.Makespan.Mean) {
+			t.Fatalf("%s: makespan = %+v", a.Scenario, a.Makespan)
+		}
+		if a.Redundancy.Mean < 1 {
+			t.Fatalf("%s: redundancy = %+v", a.Scenario, a.Redundancy)
+		}
+		if a.Useful.Mean <= 0 || a.Useful.Mean > 1 {
+			t.Fatalf("%s: useful fraction = %+v", a.Scenario, a.Useful)
+		}
+	}
+	rendered := Table(sw.Aggregates).String()
+	for _, sc := range testScenarios() {
+		if !strings.Contains(rendered, sc.Name) {
+			t.Fatalf("rendered table misses scenario %s:\n%s", sc.Name, rendered)
+		}
+	}
+	var csv strings.Builder
+	if err := WriteCSV(&csv, sw.Aggregates); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines, want header + 3 rows:\n%s", len(lines), csv.String())
+	}
+	wantCols := strings.Count(lines[0], ",")
+	for i, l := range lines {
+		if strings.Count(l, ",") != wantCols {
+			t.Fatalf("csv line %d has ragged columns:\n%s", i, csv.String())
+		}
+	}
+}

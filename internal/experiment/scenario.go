@@ -1,0 +1,206 @@
+// Package experiment turns the repository from "replays the paper" into a
+// design-space explorer: named what-if scenarios over the campaign
+// configuration, a bounded worker pool that fans scenario × replication runs
+// out across the machine's cores, cross-replication statistics with 95 %
+// confidence intervals, and JSON checkpointing so an interrupted sweep
+// resumes where it stopped.
+//
+// Each discrete-event run stays single-threaded and bit-for-bit
+// deterministic in its derived seed; parallelism is only across runs, so a
+// sweep's aggregates are identical whether it ran on one worker or sixteen.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/project"
+	"repro/internal/sim"
+	"repro/internal/volunteer"
+)
+
+// Scenario is one named point of the design space: a description and a
+// mutation applied to the base campaign configuration. Mutators must be
+// pure functions of the config (no captured mutable state): the runner
+// applies them concurrently to per-run config copies.
+type Scenario struct {
+	Name        string
+	Description string
+	Mutate      func(cfg *project.Config)
+}
+
+// Catalog returns the built-in scenario catalog: the paper's ablations
+// (launch order, quorum regime, deadline, packaging, phase schedule, grid
+// growth, phase II plan) plus workloads beyond the paper. The order is the
+// canonical presentation order of sweep reports.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "production deployment: cheapest-first, quorum 2→1 at week 14, 8d deadline, 3.7h workunits",
+			Mutate:      func(*project.Config) {},
+		},
+		{
+			Name:        "costliest-first",
+			Description: "adversarial launch order: most expensive receptor batches released first",
+			Mutate:      func(cfg *project.Config) { cfg.Order = project.CostliestFirst },
+		},
+		{
+			Name:        "random-order",
+			Description: "launch order scrambled by the run seed",
+			Mutate:      func(cfg *project.Config) { cfg.Order = project.RandomOrder },
+		},
+		{
+			Name:        "quorum-1",
+			Description: "value-checked single results from day one (no comparison validation period)",
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.InitialQuorum = 1
+				cfg.Server.SteadyQuorum = 1
+				cfg.Server.QuorumSwitchTime = 0
+			},
+		},
+		{
+			Name:        "quorum-2",
+			Description: "comparison validation for the whole campaign (the switch to quorum 1 never happens)",
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.InitialQuorum = 2
+				cfg.Server.SteadyQuorum = 2
+				cfg.Server.QuorumSwitchTime = 0
+			},
+		},
+		{
+			Name:        "late-quorum-switch",
+			Description: "cautious project: the quorum 2→1 switch waits until week 22",
+			Mutate:      func(cfg *project.Config) { cfg.Server.QuorumSwitchTime = 22 * sim.Week },
+		},
+		{
+			Name:        "deadline-4d",
+			Description: "aggressive 4-day return deadline (more reissues, fewer stragglers)",
+			Mutate:      func(cfg *project.Config) { cfg.Server.Deadline = 4 * sim.Day },
+		},
+		{
+			Name:        "deadline-16d",
+			Description: "lenient 16-day return deadline (fewer reissues, longer tail)",
+			Mutate:      func(cfg *project.Config) { cfg.Server.Deadline = 16 * sim.Day },
+		},
+		{
+			Name:        "wu-1h",
+			Description: "fine packaging: 1-hour reference workunits (§4.2 sweep, low end)",
+			Mutate:      func(cfg *project.Config) { cfg.HHours = 1 },
+		},
+		{
+			Name:        "wu-10h",
+			Description: "coarse packaging: 10-hour reference workunits (§4.2 sweep, high end)",
+			Mutate:      func(cfg *project.Config) { cfg.HHours = 10 },
+		},
+		{
+			Name:        "no-control-phase",
+			Description: "full project priority from day one: no low-priority control period, half-week ramp",
+			Mutate: func(cfg *project.Config) {
+				cfg.ControlWeeks = 0
+				cfg.RampWeeks = 0.5
+			},
+		},
+		{
+			Name:        "slow-ramp",
+			Description: "conservative schedule: 8-week control period then a 10-week prioritization ramp",
+			Mutate: func(cfg *project.Config) {
+				cfg.ControlWeeks = 8
+				cfg.RampWeeks = 10
+			},
+		},
+		{
+			Name:        "grid-static",
+			Description: "pessimistic grid: the World Community Grid stops growing at campaign start",
+			Mutate: func(cfg *project.Config) {
+				cfg.Grid.BaseVFTP = cfg.Grid.VFTPAt(project.CampaignStartWeek)
+				cfg.Grid.GrowthPerWeek = 0
+			},
+		},
+		{
+			Name:        "grid-boom",
+			Description: "optimistic grid: member recruitment doubles the weekly VFTP growth",
+			Mutate:      func(cfg *project.Config) { cfg.Grid.GrowthPerWeek *= 2 },
+		},
+		{
+			Name:        "half-share",
+			Description: "the project only ever secures half the production grid share",
+			Mutate: func(cfg *project.Config) {
+				cfg.ControlShare /= 2
+				cfg.FullShare /= 2
+				cfg.MaxWeeks *= 2
+			},
+		},
+		{
+			Name:        "phase2-plan",
+			Description: "§7 phase II operating point: 5.67× workload on a flat 59,730-VFTP slice, validated by simulation",
+			Mutate: func(cfg *project.Config) {
+				cfg.M = costmodel.Synthesize(cfg.DS, costmodel.SynthesizeOptions{
+					Seed:        cfg.Seed + 11,
+					MeanSeconds: costmodel.Table1.Mean * PhaseIIRatio,
+					TargetTotal: costmodel.PaperTotalSeconds * PhaseIIRatio,
+				})
+				cfg.Grid = volunteer.GridModel{BaseVFTP: 59730, GrowthPerWeek: 0}
+				cfg.ControlWeeks = 0
+				cfg.RampWeeks = 0.1
+				cfg.ControlShare = 1
+				cfg.FullShare = 1
+				cfg.MaxWeeks = 90
+			},
+		},
+	}
+}
+
+// PhaseIIRatio is the §7 workload ratio: 4000² / (168² × 100).
+const PhaseIIRatio = 4000.0 * 4000.0 / (168.0 * 168.0 * 100.0)
+
+// Lookup returns the catalog scenario with the given name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Select resolves a CLI-style scenario spec: "all" (or "") yields the whole
+// catalog in canonical order; otherwise a comma-separated list of names,
+// deduplicated, in the order given.
+func Select(spec string) ([]Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return Catalog(), nil
+	}
+	var out []Scenario
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		s, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown scenario %q (have: %s)", name, strings.Join(Names(), ", "))
+		}
+		seen[name] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: empty scenario selection %q", spec)
+	}
+	return out, nil
+}
+
+// Names returns the sorted catalog scenario names.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/project"
+	"repro/internal/protein"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 10", len(cat))
+	}
+	seen := make(map[string]bool)
+	for _, s := range cat {
+		if s.Name == "" || s.Description == "" || s.Mutate == nil {
+			t.Fatalf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		if strings.ContainsAny(s.Name, ", ") {
+			t.Fatalf("scenario name %q would break the comma-separated CLI spec", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestCatalogMutatorsKeepConfigRunnable(t *testing.T) {
+	ds := protein.Generate(8, 7)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 8})
+	for _, s := range Catalog() {
+		cfg := project.DefaultConfig(ds, m)
+		cfg.Seed = 42
+		s.Mutate(&cfg)
+		if cfg.DS == nil || cfg.M == nil {
+			t.Fatalf("%s: mutator dropped dataset or matrix", s.Name)
+		}
+		if cfg.HHours <= 0 || cfg.MaxWeeks <= 0 {
+			t.Fatalf("%s: mutator produced invalid durations: %+v", s.Name, cfg)
+		}
+		if cfg.Server.Deadline <= 0 || cfg.Server.InitialQuorum < 1 || cfg.Server.SteadyQuorum < 1 {
+			t.Fatalf("%s: mutator produced invalid server config: %+v", s.Name, cfg.Server)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Catalog()) {
+		t.Fatalf("Select(all) = %d scenarios, err %v", len(all), err)
+	}
+	if def, err := Select(""); err != nil || len(def) != len(Catalog()) {
+		t.Fatalf("Select(\"\") = %d scenarios, err %v", len(def), err)
+	}
+	some, err := Select("quorum-1, baseline,quorum-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "quorum-1" || some[1].Name != "baseline" {
+		t.Fatalf("Select dedup/order broken: %v", orderedNames(some))
+	}
+	if _, err := Select("no-such-scenario"); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+	if _, err := Select(" , "); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("baseline"); !ok {
+		t.Fatal("baseline missing from catalog")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := make(map[uint64]string)
+	for si := 0; si < 20; si++ {
+		for rep := 0; rep < 20; rep++ {
+			s := DeriveSeed(12345, si, rep)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between cells %s and (%d,%d)", prev, si, rep)
+			}
+			seen[s] = fmt.Sprintf("(%d,%d)", si, rep)
+		}
+	}
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(2, 2, 3) {
+		t.Fatal("DeriveSeed ignores base seed")
+	}
+}

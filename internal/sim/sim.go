@@ -92,8 +92,9 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nEvent }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled ones that have not been popped yet).
+// Pending returns the exact number of live scheduled events. Cancel removes
+// an event from the heap the moment it is cancelled, so cancelled events are
+// never counted.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:

@@ -224,6 +224,39 @@ func TestExecutedCount(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 5)
+	for i := range evs {
+		evs[i] = e.At(float64(i+1), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Cancel(evs[1])
+	e.Cancel(evs[3])
+	if e.Pending() != 3 {
+		t.Fatalf("pending after cancel = %d, want 3", e.Pending())
+	}
+	e.Cancel(evs[1]) // double-cancel must not double-count
+	if e.Pending() != 3 {
+		t.Fatalf("pending after double-cancel = %d, want 3", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 2 {
+		t.Fatalf("pending after step = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+	// Cancelling an already-executed event is a no-op for the count.
+	e.Cancel(evs[0])
+	if e.Pending() != 0 {
+		t.Fatalf("pending after post-run cancel = %d, want 0", e.Pending())
+	}
+}
+
 func TestCalendar(t *testing.T) {
 	var c Calendar
 	if c.DayOfWeek(0) != 0 {
