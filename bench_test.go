@@ -11,12 +11,16 @@
 package repro_test
 
 import (
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/docking"
+	"repro/internal/experiment"
 	"repro/internal/forecast"
 	"repro/internal/grid"
 	"repro/internal/project"
@@ -52,6 +56,82 @@ const benchScale = 1.0 / 42
 func campaign() *project.Report {
 	campOnce.Do(func() { campRep = system().RunCampaign(benchScale, 0) })
 	return campRep
+}
+
+// --- Campaign hot-path benchmarks (BENCH_campaign.json) ---
+
+// ciBenchScale is the CI smoke-job scale: large enough to exercise the
+// deadline wheel, quorum switch and population turnover, small enough for
+// a per-PR run. It reuses benchScale so the CI trajectory rows stay
+// comparable to the shared figure-benchmark campaign.
+const ciBenchScale = benchScale
+
+// benchCampaign measures whole-campaign simulations and, when BENCH_JSON
+// names a file, records the run in the BENCH_campaign.json trajectory.
+func benchCampaign(b *testing.B, name string, scale float64, label string) {
+	s := system()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		rep = s.RunCampaign(scale, 0)
+		if !rep.Completed {
+			b.Fatal("campaign did not complete")
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(rep.EventsExecuted), "events/op")
+	b.ReportMetric(float64(rep.PeakPending), "peak-queue")
+	b.ReportMetric(rep.WeeksElapsed, "sim-weeks")
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	if err := experiment.AppendBenchRun(path, experiment.BenchRun{
+		Benchmark:       name,
+		Label:           label,
+		Date:            time.Now().UTC().Format("2006-01-02"),
+		Scale:           scale,
+		NsPerOp:         elapsed.Nanoseconds() / int64(b.N),
+		BytesPerOp:      int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+		AllocsPerOp:     int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+		EventsExecuted:  rep.EventsExecuted,
+		PeakQueueDepth:  rep.PeakPending,
+		SimWeeks:        rep.WeeksElapsed,
+		ResultsReceived: rep.ServerStats.Received,
+	}); err != nil {
+		b.Fatalf("recording bench run: %v", err)
+	}
+	b.Logf("recorded %s (%s) in %s", name, label, path)
+}
+
+// BenchmarkCampaignFullScale simulates the complete HCMD phase I campaign —
+// WorkScale=1, HostScale=1: every workunit of every protein couple on the
+// full ~26k-host population, the paper's ~5M returned results. This is the
+// headline number of the performance trajectory; run it with
+//
+//	BENCH_JSON=BENCH_campaign.json go test -run xxx -bench CampaignFullScale -benchtime 2x
+func BenchmarkCampaignFullScale(b *testing.B) {
+	benchCampaign(b, "BenchmarkCampaignFullScale", 1, benchLabel())
+}
+
+// BenchmarkCampaignCI is the CI-sized variant of the campaign benchmark,
+// recorded per PR by the benchmark smoke job.
+func BenchmarkCampaignCI(b *testing.B) {
+	benchCampaign(b, "BenchmarkCampaignCI", ciBenchScale, benchLabel())
+}
+
+// benchLabel tags recorded runs; CI sets BENCH_LABEL to the PR/commit.
+func benchLabel() string {
+	if l := os.Getenv("BENCH_LABEL"); l != "" {
+		return l
+	}
+	return "local"
 }
 
 // BenchmarkFigure1_GridVFTP regenerates the grid-wide daily VFTP series

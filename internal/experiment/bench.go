@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema identifies the BENCH_campaign.json layout.
+const BenchSchema = "bench-campaign/v1"
+
+// BenchRun is one measured campaign-benchmark run: the performance
+// trajectory every PR is judged against. Wall-clock and allocation figures
+// come from the Go benchmark harness; events and queue depth come from the
+// simulation kernel itself, so a run is comparable across machines (same
+// events executed) and within a machine (ns/op).
+type BenchRun struct {
+	Benchmark       string  `json:"benchmark"`        // e.g. "BenchmarkCampaignFullScale"
+	Label           string  `json:"label"`            // e.g. "post-refactor (PR 2)"
+	Date            string  `json:"date,omitempty"`   // YYYY-MM-DD the run was recorded
+	CPU             string  `json:"cpu,omitempty"`    // informational; ns/op is machine-bound
+	Scale           float64 `json:"scale"`            // WorkScale = HostScale of the run
+	NsPerOp         int64   `json:"ns_per_op"`        // wall-clock per campaign
+	BytesPerOp      int64   `json:"bytes_per_op"`     // heap allocated per campaign
+	AllocsPerOp     int64   `json:"allocs_per_op"`    // heap allocations per campaign
+	EventsExecuted  uint64  `json:"events_executed"`  // kernel events per campaign
+	PeakQueueDepth  int     `json:"peak_queue_depth"` // event-queue high-water mark
+	SimWeeks        float64 `json:"sim_weeks"`        // simulated campaign duration
+	ResultsReceived int64   `json:"results_received"` // returned results per campaign
+}
+
+// BenchFile is the on-disk BENCH_campaign.json: an append-mostly log of
+// benchmark runs, one entry per (benchmark, label).
+type BenchFile struct {
+	Schema string     `json:"schema"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// ReadBenchFile loads path; a missing file yields an empty, valid file.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchFile{Schema: BenchSchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiment: parsing %s: %w", path, err)
+	}
+	if f.Schema == "" {
+		f.Schema = BenchSchema
+	}
+	return &f, nil
+}
+
+// WriteBenchFile writes f to path as indented JSON.
+func WriteBenchFile(path string, f *BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendBenchRun records run in the bench file at path, replacing any
+// existing entry with the same benchmark and label so a re-run updates its
+// own row instead of duplicating it.
+func AppendBenchRun(path string, run BenchRun) error {
+	f, err := ReadBenchFile(path)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Benchmark == run.Benchmark && f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	return WriteBenchFile(path, f)
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	// Missing file reads as empty.
+	f, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != BenchSchema || len(f.Runs) != 0 {
+		t.Fatalf("empty file: %+v", f)
+	}
+
+	run := BenchRun{
+		Benchmark: "BenchmarkCampaignCI", Label: "a", Scale: 0.5,
+		NsPerOp: 100, AllocsPerOp: 7, EventsExecuted: 42, PeakQueueDepth: 3,
+	}
+	if err := AppendBenchRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+	other := run
+	other.Label = "b"
+	if err := AppendBenchRun(path, other); err != nil {
+		t.Fatal(err)
+	}
+	// Same (benchmark, label) replaces in place.
+	run.NsPerOp = 50
+	if err := AppendBenchRun(path, run); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(f.Runs))
+	}
+	if f.Runs[0].NsPerOp != 50 || f.Runs[0].Label != "a" {
+		t.Fatalf("replace failed: %+v", f.Runs[0])
+	}
+	if f.Runs[1].Label != "b" {
+		t.Fatalf("append failed: %+v", f.Runs[1])
+	}
+}
+
+func TestReadBenchFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The lazy-cancel kernel contract: Cancel is O(1), Pending() stays exact,
+// FIFO ties hold across both scheduling paths, and recycled events never
+// leak state between schedules. These tests cover the paths sim_test.go
+// (written against the eager-removal kernel) does not reach.
+
+func TestScheduleFIFOWithAt(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func() { order = append(order, 0) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 2) })
+	e.ScheduleAfter(5, func() { order = append(order, 3) })
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed At/Schedule ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 10000 {
+			e.ScheduleAfter(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.Run()
+	if count != 10000 {
+		t.Fatalf("count = %d", count)
+	}
+	// A self-rescheduling chain needs exactly one live event at a time:
+	// the free list must be feeding the next link, not growing the slab.
+	if len(e.free) != 1 {
+		t.Fatalf("free list holds %d events, want 1 (recycling broken)", len(e.free))
+	}
+}
+
+func TestRecycledEventSafeAfterHandleCancel(t *testing.T) {
+	// Cancelling a stale handle (its event already fired) must not corrupt
+	// an unrelated recycled event scheduled afterwards.
+	e := NewEngine()
+	ev := e.At(1, func() {})
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	e.RunUntil(1.5)
+	e.Cancel(ev) // already fired: no-op
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event lost to a stale handle cancel")
+	}
+}
+
+func TestMaxPending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i+1), func() {})
+	}
+	if e.MaxPending() != 5 {
+		t.Fatalf("max pending = %d, want 5", e.MaxPending())
+	}
+	e.Run()
+	if e.MaxPending() != 5 {
+		t.Fatalf("max pending after run = %d, want 5 (high-water mark)", e.MaxPending())
+	}
+	e.At(100, func() {})
+	if e.MaxPending() != 5 {
+		t.Fatalf("max pending = %d, want 5 (1 live < old peak)", e.MaxPending())
+	}
+}
+
+func TestCancelHeavySweep(t *testing.T) {
+	// Cancelling most of a large queue must compact the heap (bounding
+	// memory) without disturbing the survivors' order.
+	e := NewEngine()
+	const n = 20000
+	evs := make([]*Event, n)
+	for i := 0; i < n; i++ {
+		evs[i] = e.At(float64(i), func() {})
+	}
+	var fired []float64
+	keep := 100
+	e.At(float64(n), func() {})
+	for i := keep; i < n; i++ {
+		e.Cancel(evs[i])
+	}
+	if e.Pending() != keep+1 {
+		t.Fatalf("pending = %d, want %d", e.Pending(), keep+1)
+	}
+	if len(e.queue) >= n {
+		t.Fatalf("heap not swept: %d entries for %d live", len(e.queue), e.Pending())
+	}
+	for i := 0; i < keep; i++ {
+		i := i
+		evs[i].fn = func() { fired = append(fired, float64(i)) }
+	}
+	e.Run()
+	if len(fired) != keep {
+		t.Fatalf("fired %d, want %d", len(fired), keep)
+	}
+	for i, v := range fired {
+		if v != float64(i) {
+			t.Fatalf("sweep broke ordering: %v", fired[:i+1])
+		}
+	}
+}
+
+func TestSweepAllTombstones(t *testing.T) {
+	// Cancelling every event must survive the sweep compacting the heap to
+	// empty (regression: eventHeap.init read h[0] on a zero-length heap).
+	e := NewEngine()
+	evs := make([]*Event, 1024)
+	for i := range evs {
+		evs[i] = e.At(float64(i+1), func() {})
+	}
+	for _, ev := range evs {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("engine unusable after all-tombstone sweep")
+	}
+}
+
+func TestCancelIsO1UnderLoad(t *testing.T) {
+	// Not a timing test: verifies the accounting stays exact through an
+	// adversarial cancel/schedule interleave.
+	e := NewEngine()
+	r := rng.New(11)
+	live := 0
+	var handles []*Event
+	for i := 0; i < 50000; i++ {
+		switch {
+		case len(handles) > 0 && r.Bernoulli(0.4):
+			h := handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+			if !h.Canceled() {
+				e.Cancel(h)
+				live--
+			}
+		default:
+			handles = append(handles, e.At(e.Now()+r.Float64()*100, func() {}))
+			live++
+		}
+		if e.Pending() != live {
+			t.Fatalf("step %d: pending %d, want %d", i, e.Pending(), live)
+		}
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d", e.Pending())
+	}
+}
+
+func TestTickerNaNIntervalPanics(t *testing.T) {
+	// A NaN interval slips past the `interval <= 0` guard; the reschedule
+	// path must reject the non-finite tick time like At does.
+	e := NewEngine()
+	e.Every(0, nan(), func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic rescheduling at NaN")
+		}
+	}()
+	e.Run()
+}
+
+func TestTickerDoesNotAllocatePerTick(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.Every(0, 1, func(Time) { ticks++ })
+	e.RunUntil(10000)
+	tk.Stop()
+	if ticks != 10001 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	// The ticker reuses its single event; the slab must not have grown
+	// past its first chunk on the ticker's account.
+	if e.seq < 10000 {
+		t.Fatalf("seq = %d, ticker not rescheduling", e.seq)
+	}
+}
+
+func BenchmarkScheduleRecycled(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+func BenchmarkCancelO1(b *testing.B) {
+	e := NewEngine()
+	// A deep queue: eager removal would pay O(log n) sift per cancel.
+	for i := 0; i < 100000; i++ {
+		e.At(float64(i+1), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(1e9, func() {})
+		e.Cancel(ev)
+	}
+}

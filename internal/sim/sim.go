@@ -7,12 +7,26 @@
 // models). Time is a float64 number of seconds since the simulation epoch;
 // the HCMD campaign spans ~26 weeks ≈ 1.6e7 s, far below float64 integer
 // precision limits.
+//
+// Two design choices keep the hot path cheap at campaign scale (tens of
+// millions of events):
+//
+//   - Cancellation is lazy: Cancel marks the event and returns in O(1);
+//     the tombstone is discarded when it reaches the top of the heap (or by
+//     an amortized sweep if tombstones ever dominate the heap). Pending()
+//     stays exact through a live-event counter.
+//   - Events scheduled through Schedule/ScheduleAfter (no cancellation
+//     handle) are recycled through a free list once they fire, so steady-
+//     state simulation allocates no per-event memory. At/After still return
+//     a handle and therefore allocate; handles are never recycled, so a
+//     stale handle can never cancel an unrelated reused event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/slab"
 )
 
 // Time is a simulation timestamp in seconds since the simulation epoch.
@@ -31,10 +45,10 @@ const (
 // Event is a scheduled callback. Cancel it via its handle.
 type Event struct {
 	at       Time
-	seq      uint64 // tie-breaker: FIFO among equal timestamps
 	fn       func()
-	index    int // heap index, -1 once popped or cancelled
+	inHeap   bool
 	canceled bool
+	recycle  bool // no handle outstanding; safe to reuse after it pops
 }
 
 // Time returns the timestamp the event is scheduled for.
@@ -43,33 +57,94 @@ func (e *Event) Time() Time { return e.at }
 // Canceled reports whether the event has been cancelled.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
+// entry is one heap slot. The ordering key (timestamp + FIFO sequence)
+// lives inline in the slice, so sift comparisons touch contiguous memory
+// instead of dereferencing an *Event per comparison — at campaign scale
+// the event heap is tens of thousands deep and those misses dominate.
+type entry struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// The heap is 4-ary: half the levels of a binary heap, and the four
+// children of a node share cache lines. Hand-rolled so the comparisons
+// inline (container/heap pays an interface call per Less/Swap).
+const heapArity = 4
+
+type eventHeap []entry
+
+func (h *eventHeap) push(en entry) {
+	q := append(*h, en)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !entryLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// siftDown moves item from the hole at i toward the leaves of h[:n] until
+// the heap property holds, writing it into its final slot.
+func siftDown(h []entry, i, n int, item entry) {
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], item) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = item
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() entry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = entry{}
+	q = q[:n]
+	if n > 0 {
+		siftDown(q, 0, n, last)
+	}
+	*h = q
+	return top
+}
+
+// init re-establishes the heap property over arbitrary contents.
+func (h eventHeap) init() {
+	n := len(h)
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / heapArity; i >= 0; i-- {
+		siftDown(h, i, n, h[i])
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not valid;
@@ -79,6 +154,13 @@ type Engine struct {
 	queue  eventHeap
 	seq    uint64
 	nEvent uint64 // events executed
+
+	live       int // scheduled, not cancelled: the exact Pending() count
+	tombstones int // cancelled events still sitting in the heap
+	maxLive    int // high-water mark of live
+
+	free []*Event // recycled no-handle events
+	slab []Event  // bump allocator backing new events
 }
 
 // NewEngine returns an engine with the clock at 0 and an empty event list.
@@ -92,25 +174,73 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nEvent }
 
-// Pending returns the exact number of live scheduled events. Cancel removes
-// an event from the heap the moment it is cancelled, so cancelled events are
-// never counted.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the exact number of live scheduled events. Cancelled
+// events are never counted: Cancel decrements the live counter the moment
+// it is called, even though the tombstone leaves the heap lazily.
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// a model that does so is broken, and silently clamping would corrupt
-// causality. Returns a handle for cancellation.
-func (e *Engine) At(t Time, fn func()) *Event {
+// MaxPending returns the high-water mark of Pending() over the engine's
+// lifetime — the peak event-queue depth, reported by the campaign bench.
+func (e *Engine) MaxPending() int { return e.maxLive }
+
+// alloc returns an event struct: recycled if one is free, freshly carved
+// from the bump slab otherwise. Slab allocation batches the garbage
+// collector's work; recycled events make the steady state allocation-free.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return slab.Carve(&e.slab)
+}
+
+// release returns a popped event to the free list if it is recyclable.
+// Events created by At/After have a caller-held handle and are never
+// reused; recyclable events by construction have no handle outstanding.
+func (e *Engine) release(ev *Event) {
+	if !ev.recycle {
+		return
+	}
+	ev.fn = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
+// insert validates t and enters ev into the schedule, maintaining the
+// FIFO sequence and the live counters. Shared by every scheduling path so
+// the invariants live in one place.
+func (e *Engine) insert(ev *Event, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic("sim: scheduling event at non-finite time")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev.at = t
+	ev.inHeap = true
+	e.queue.push(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.live++
+	if e.live > e.maxLive {
+		e.maxLive = e.live
+	}
+}
+
+// push schedules fn on a fresh (or recycled) event.
+func (e *Engine) push(t Time, fn func(), recycle bool) *Event {
+	ev := e.alloc()
+	*ev = Event{fn: fn, recycle: recycle}
+	e.insert(ev, t)
 	return ev
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a model that does so is broken, and silently clamping would corrupt
+// causality. Returns a handle for cancellation.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.push(t, fn, false)
 }
 
 // After schedules fn to run d seconds from now.
@@ -118,30 +248,100 @@ func (e *Engine) After(d float64, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes the event from the schedule. Cancelling an already-fired
-// or already-cancelled event is a no-op.
+// Schedule schedules fn at absolute time t with no cancellation handle.
+// The event struct is recycled after it fires, so hot loops that never
+// cancel (host compute completions, the deadline wheel) schedule without
+// allocating.
+func (e *Engine) Schedule(t Time, fn func()) {
+	e.push(t, fn, true)
+}
+
+// ScheduleAfter schedules fn to run d seconds from now, with no handle.
+func (e *Engine) ScheduleAfter(d float64, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// reschedule re-arms a popped handle event at a new time, reusing its
+// struct. Only the Ticker uses it: the caller must own the handle and the
+// event must not be in the heap. fn is re-attached because Step detaches
+// callbacks from popped events (so fired closures don't outlive them).
+func (e *Engine) reschedule(ev *Event, t Time, fn func()) {
+	ev.fn = fn
+	ev.canceled = false
+	e.insert(ev, t)
+}
+
+// Cancel removes the event from the schedule in O(1): the event is marked
+// and skipped when it surfaces, rather than removed from the middle of the
+// heap. Cancelling an already-fired or already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	// A cancelled event's callback never runs: free it now rather than
+	// when the tombstone surfaces, so the closure's captures don't stay
+	// reachable until the event's (possibly far-future) timestamp.
+	ev.fn = nil
+	if ev.inHeap {
+		e.live--
+		e.tombstones++
+		e.maybeSweep()
+	}
+}
+
+// maybeSweep compacts the heap when tombstones dominate it, bounding the
+// memory a cancel-heavy workload can pin. Amortized O(1) per cancel.
+func (e *Engine) maybeSweep() {
+	if e.tombstones < 1024 || e.tombstones*2 < len(e.queue) {
+		return
+	}
+	kept := e.queue[:0]
+	for _, en := range e.queue {
+		if en.ev.canceled {
+			en.ev.inHeap = false
+			en.ev.fn = nil
+			e.release(en.ev)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = entry{}
+	}
+	e.queue = kept
+	e.queue.init()
+	e.tombstones = 0
+}
+
+// discardTombstone retires a popped cancelled event.
+func (e *Engine) discardTombstone(ev *Event) {
+	ev.inHeap = false
+	ev.fn = nil
+	e.tombstones--
+	e.release(ev)
 }
 
 // Step executes the next event. It returns false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		en := e.queue.pop()
+		ev := en.ev
 		if ev.canceled {
+			e.discardTombstone(ev)
 			continue
 		}
-		e.now = ev.at
+		ev.inHeap = false
+		// Detach the callback: a popped event may sit in a slab chunk
+		// pinned by a long-lived neighbour's handle, and its closure must
+		// not stay reachable for the rest of the run.
+		fn := ev.fn
+		ev.fn = nil
+		e.live--
+		e.now = en.at
 		e.nEvent++
-		ev.fn()
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -159,8 +359,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 {
 		// Peek.
 		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
+		if next.ev.canceled {
+			e.queue.pop()
+			e.discardTombstone(next.ev)
 			continue
 		}
 		if next.at > deadline {
@@ -180,6 +381,7 @@ type Ticker struct {
 	engine   *Engine
 	interval float64
 	fn       func(Time)
+	tickFn   func() // bound once; re-attached on every reschedule
 	ev       *Event
 	stopped  bool
 }
@@ -190,7 +392,8 @@ func (e *Engine) Every(start Time, interval float64, fn func(Time)) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{engine: e, interval: interval, fn: fn}
-	t.ev = e.At(start, t.tick)
+	t.tickFn = t.tick
+	t.ev = e.At(start, t.tickFn)
 	return t
 }
 
@@ -202,7 +405,9 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
-	t.ev = t.engine.After(t.interval, t.tick)
+	// Reuse the popped event struct: the ticker owns the handle, so
+	// re-arming it is safe and the ticker never allocates per tick.
+	t.engine.reschedule(t.ev, t.engine.Now()+t.interval, t.tickFn)
 }
 
 // Stop halts the ticker. Safe to call multiple times and from within fn.

@@ -1,0 +1,20 @@
+// Package slab provides chunked bump allocation for simulation objects
+// that are created by the million: instead of one heap allocation per
+// object, objects are carved from fixed-size chunks. A chunk is collected
+// as soon as every object in it is unreachable, so memory is still
+// reclaimed progressively over a run.
+package slab
+
+// Chunk is the number of objects carved from one allocation.
+const Chunk = 512
+
+// Carve returns the next zeroed object from the slab, starting a fresh
+// chunk when the current one is exhausted.
+func Carve[T any](slab *[]T) *T {
+	if len(*slab) == 0 {
+		*slab = make([]T, Chunk)
+	}
+	v := &(*slab)[0]
+	*slab = (*slab)[1:]
+	return v
+}

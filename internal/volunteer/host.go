@@ -134,7 +134,20 @@ type Host struct {
 	Done     int     // tasks returned on time
 	CPUSpent float64 // reported run time accumulated
 
-	cache []*wcg.Assignment // fetched but not yet started (work buffer)
+	// Work buffer: fetched but not yet started assignments, consumed from
+	// cacheHead so the backing array is reused instead of reallocated on
+	// every fetch.
+	cache     []*wcg.Assignment
+	cacheHead int
+
+	// The fetch-compute-report loop schedules through these bound method
+	// values and the cur* fields, so the steady state allocates no closure
+	// per task (only the rare abandoned-late-return path captures state).
+	requestFn   func()
+	taskDoneFn  func()
+	cur         *wcg.Assignment
+	curOutcome  wcg.Outcome
+	curReported float64
 }
 
 // NewHost creates a host with behaviour sampled from cfg. It does not start
@@ -164,7 +177,7 @@ func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *
 	if hw < 1 {
 		hw = 1
 	}
-	return &Host{
+	h := &Host{
 		ID:        id,
 		JoinedAt:  engine.Now(),
 		SpeedDown: sd,
@@ -174,6 +187,9 @@ func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *
 		server:    server,
 		r:         r,
 	}
+	h.requestFn = h.requestWork
+	h.taskDoneFn = h.taskDone
+	return h
 }
 
 // Start begins the fetch-compute-report loop.
@@ -197,6 +213,17 @@ func (h *Host) requestWork() {
 	if buffer < 1 {
 		buffer = 1
 	}
+	if h.cacheHead > 0 {
+		// Compact the unconsumed tail to the front so the buffer stays
+		// bounded by WorkBuffer and the backing array is reused.
+		n := copy(h.cache, h.cache[h.cacheHead:])
+		for i := n; i < len(h.cache); i++ {
+			h.cache[i] = nil
+		}
+		h.cache = h.cache[:n]
+		h.cacheHead = 0
+	}
+	// cacheHead is 0 here: the compaction above reset it.
 	for len(h.cache) < buffer {
 		a := h.server.RequestWork()
 		if a == nil {
@@ -205,14 +232,15 @@ func (h *Host) requestWork() {
 		h.cache = append(h.cache, a)
 	}
 	if len(h.cache) == 0 {
-		h.engine.After(h.cfg.IdleRetry, h.requestWork)
+		h.engine.ScheduleAfter(h.cfg.IdleRetry, h.requestFn)
 		return
 	}
 	if h.busy {
 		return // already crunching; the cache refill was all we needed
 	}
 	a := h.cache[0]
-	h.cache = h.cache[1:]
+	h.cache[0] = nil
+	h.cacheHead = 1
 	h.busy = true
 	// The task physically occupies the device for wall seconds; what the
 	// agent *reports* depends on its accounting mode.
@@ -228,7 +256,7 @@ func (h *Host) requestWork() {
 		// much later and the (by then redundant) result is still counted.
 		if h.r.Bernoulli(h.cfg.LateReturnProb) {
 			delay := h.serverDeadline() + h.r.Float64()*h.cfg.LateDelayMax
-			h.engine.After(delay, func() {
+			h.engine.ScheduleAfter(delay, func() {
 				h.CPUSpent += reported
 				h.server.Complete(a, wcg.OutcomeValid, reported)
 			})
@@ -236,24 +264,30 @@ func (h *Host) requestWork() {
 		// Either way this host moves on quickly (it is the task that
 		// stalls, not the device).
 		h.busy = false
-		h.engine.After(h.cfg.IdleRetry, h.requestWork)
+		h.engine.ScheduleAfter(h.cfg.IdleRetry, h.requestFn)
 		return
 	}
 
-	outcome := wcg.OutcomeValid
+	h.cur = a
+	h.curReported = reported
+	h.curOutcome = wcg.OutcomeValid
 	if h.r.Bernoulli(h.cfg.ErrorProb) {
-		outcome = wcg.OutcomeInvalid
+		h.curOutcome = wcg.OutcomeInvalid
 	}
-	h.engine.After(wall, func() {
-		h.busy = false
-		h.Done++
-		h.CPUSpent += reported
-		h.server.Complete(a, outcome, reported)
-		h.requestWork()
-	})
+	h.engine.ScheduleAfter(wall, h.taskDoneFn)
 }
 
-// serverDeadline approximates the server's reissue deadline for late-return
-// scheduling. Kept as a method for the tests to override expectations in
-// one place.
-func (h *Host) serverDeadline() float64 { return 12 * sim.Day }
+// taskDone reports the finished task and fetches the next one.
+func (h *Host) taskDone() {
+	a, outcome, reported := h.cur, h.curOutcome, h.curReported
+	h.cur = nil
+	h.busy = false
+	h.Done++
+	h.CPUSpent += reported
+	h.server.Complete(a, outcome, reported)
+	h.requestWork()
+}
+
+// serverDeadline is the server's reissue deadline, used to model how late
+// a reconnecting device's result arrives relative to the replacement copy.
+func (h *Host) serverDeadline() float64 { return h.server.Deadline() }

@@ -17,9 +17,10 @@ type Population struct {
 	cfg    HostConfig
 	r      *rng.Source
 
-	hosts  []*Host
-	active int // hosts not stopped
-	nextID int
+	hosts       []*Host
+	active      int // hosts not stopped
+	nextID      int
+	firstActive int // hosts[:firstActive] are all stopped (stop-oldest cursor)
 }
 
 // NewPopulation creates an empty population.
@@ -52,17 +53,19 @@ func (p *Population) SetTarget(n int) {
 		h.Start()
 	}
 	if p.active > n {
-		// Stop the oldest active hosts first (device turnover).
+		// Stop the oldest active hosts first (device turnover). The cursor
+		// makes the weekly shrink O(stopped) instead of rescanning every
+		// host ever joined: hosts never restart, so everything before
+		// firstActive stays stopped forever.
 		excess := p.active - n
-		for _, h := range p.hosts {
-			if excess == 0 {
-				break
-			}
+		for excess > 0 && p.firstActive < len(p.hosts) {
+			h := p.hosts[p.firstActive]
 			if !h.Stopped() {
 				h.Stop()
 				p.active--
 				excess--
 			}
+			p.firstActive++
 		}
 	}
 }

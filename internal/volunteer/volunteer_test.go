@@ -456,6 +456,27 @@ func TestWorkBufferAgesTasksTowardDeadline(t *testing.T) {
 	}
 }
 
+func TestWorkBufferStaysBounded(t *testing.T) {
+	// The reusable cache array must compact, not grow with every fetch
+	// (regression: with WorkBuffer >= 2 the refill kept one unconsumed
+	// entry alive and the slice grew by one per task processed).
+	engine := sim.NewEngine()
+	srv := makeServer(t, engine, 500, 100)
+	cfg := DefaultHostConfig()
+	cfg.AbandonProb = 0
+	cfg.ErrorProb = 0
+	cfg.WorkBuffer = 3
+	h := NewHost(0, engine, srv, cfg, rng.New(13))
+	h.Start()
+	engine.RunUntil(52 * sim.Week)
+	if srv.Stats.Completed != 500 {
+		t.Fatalf("completed %d of 500", srv.Stats.Completed)
+	}
+	if len(h.cache) > cfg.WorkBuffer {
+		t.Fatalf("cache grew to %d entries (buffer %d)", len(h.cache), cfg.WorkBuffer)
+	}
+}
+
 func TestWorkBufferDefaultUnchanged(t *testing.T) {
 	// Buffer 0/1 must behave exactly like the original fetch-one loop.
 	run := func(buffer int) int64 {

@@ -19,12 +19,27 @@
 //
 // The server is driven by a discrete-event engine; it has no goroutines of
 // its own and is deterministic given the engine's event order.
+//
+// Two mechanisms keep the server O(1) per transaction at campaign scale
+// (millions of workunits, tens of thousands of agents):
+//
+//   - Queue depth (PendingCount) and work availability (HasWork) are
+//     incrementally maintained counters, not scans. The counters depend on
+//     the quorum in force, so the one mid-project quorum switch triggers a
+//     single O(queue) recount — amortized free.
+//   - Deadlines use a wheel, not per-assignment timers: Config.Deadline is
+//     a constant, so copies time out in issue order, and one ring-buffer
+//     FIFO drained by a single re-armed engine event replaces millions of
+//     event-heap inserts and cancellations. Each timeout still fires at
+//     exactly IssuedAt+Deadline; copies returned in time simply fall out of
+//     the ring unprocessed.
 package wcg
 
 import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/slab"
 	"repro/internal/workunit"
 )
 
@@ -53,6 +68,11 @@ type WUState struct {
 	Completed bool
 	// Batch the workunit belongs to (campaign bookkeeping).
 	Batch int
+
+	// Counter bookkeeping (see syncCounts).
+	queued     bool // sitting in the server's FIFO
+	queuedLive bool // counted in nQueuedLive
+	needy      bool // counted in nNeedy
 }
 
 // Config tunes the middleware policies.
@@ -67,13 +87,15 @@ type Config struct {
 	// from InitialQuorum to SteadyQuorum. Zero means immediately.
 	QuorumSwitchTime sim.Time
 	// Deadline is how long a copy may stay out before it is considered
-	// timed out and a replacement is issued.
+	// timed out and a replacement is issued. It is a server-wide constant,
+	// which is what makes the deadline wheel exact: copies time out in the
+	// order they were issued.
 	Deadline float64
 }
 
 // DefaultConfig mirrors the production deployment: quorum-2 comparison
-// validation for the first weeks, then value-checked single results, with a
-// 12-day return deadline.
+// validation for the first weeks, then value-checked single results, with
+// an 8-day return deadline.
 func DefaultConfig() Config {
 	return Config{
 		InitialQuorum:    2,
@@ -122,7 +144,6 @@ func (s Stats) UsefulFraction() float64 {
 type Assignment struct {
 	WU       *WUState
 	IssuedAt sim.Time
-	deadline *sim.Event
 	returned bool
 }
 
@@ -131,9 +152,27 @@ type Server struct {
 	cfg    Config
 	engine *sim.Engine
 
-	queue   []*WUState // FIFO of workunits needing more copies out
-	qHead   int
-	pending map[*WUState]bool // in queue or awaiting more copies
+	queue []*WUState // FIFO of workunits needing more copies out
+	qHead int
+
+	// Incrementally maintained counters (see syncCounts):
+	nQueuedLive int // queued workunits not yet completed: PendingCount
+	nNeedy      int // queued workunits needing more copies out: HasWork
+	qCache      int // quorum the counters were computed against
+
+	// Deadline wheel: assignments in issue order, drained by one re-armed
+	// engine event. Returned/completed copies fall out of the ring lazily.
+	dlq     []*Assignment
+	dlHead  int
+	dlArmed bool
+	drainFn func() // bound once; re-armed without allocating a closure
+
+	// Bump allocators: workunit states and assignments are carved from
+	// chunks instead of allocated one by one (millions per campaign). A
+	// chunk is collected once every object in it is unreachable, so memory
+	// is still reclaimed as the campaign progresses.
+	wuSlab []WUState
+	asSlab []Assignment
 
 	Stats Stats
 
@@ -155,12 +194,19 @@ func NewServer(engine *sim.Engine, cfg Config) *Server {
 	if cfg.Deadline <= 0 {
 		panic("wcg: deadline must be positive")
 	}
-	return &Server{
-		cfg:     cfg,
-		engine:  engine,
-		pending: make(map[*WUState]bool),
+	s := &Server{
+		cfg:    cfg,
+		engine: engine,
 	}
+	s.qCache = s.quorum()
+	s.drainFn = s.drainDeadlines
+	return s
 }
+
+// Deadline returns the server's reissue deadline: how long a copy may stay
+// out before a replacement is issued. Agents use it to model how late a
+// reconnecting device's result arrives.
+func (s *Server) Deadline() float64 { return s.cfg.Deadline }
 
 // quorum returns the quorum in force at the current simulation time.
 func (s *Server) quorum() int {
@@ -170,48 +216,108 @@ func (s *Server) quorum() int {
 	return s.cfg.SteadyQuorum
 }
 
+// refreshQuorum recomputes the counters when the quorum in force has
+// changed since they were last maintained. The quorum switches at most
+// once per run (§5.1), so the O(queue) recount is amortized free. Every
+// public entry point calls this first, so qCache is always the quorum in
+// force for the rest of the call.
+func (s *Server) refreshQuorum() {
+	q := s.quorum()
+	if q == s.qCache {
+		return
+	}
+	s.qCache = q
+	for i := s.qHead; i < len(s.queue); i++ {
+		if st := s.queue[i]; st != nil {
+			s.syncCounts(st)
+		}
+	}
+}
+
+// syncCounts reconciles st's contribution to the O(1) counters after any
+// change to its queue membership, outstanding copies, valid returns, or
+// completion.
+func (s *Server) syncCounts(st *WUState) {
+	ql := st.queued && !st.Completed
+	if ql != st.queuedLive {
+		if ql {
+			s.nQueuedLive++
+		} else {
+			s.nQueuedLive--
+		}
+		st.queuedLive = ql
+	}
+	ny := ql && st.validReturns+st.outstanding < s.qCache
+	if ny != st.needy {
+		if ny {
+			s.nNeedy++
+		} else {
+			s.nNeedy--
+		}
+		st.needy = ny
+	}
+}
+
 // AddWorkunit registers a distinct workunit for distribution.
 func (s *Server) AddWorkunit(wu workunit.Workunit, batch int) *WUState {
-	st := &WUState{WU: wu, Batch: batch}
+	s.refreshQuorum()
+	st := slab.Carve(&s.wuSlab)
+	st.WU = wu
+	st.Batch = batch
 	s.enqueue(st)
 	return st
 }
 
 func (s *Server) enqueue(st *WUState) {
-	if s.pending[st] || st.Completed {
+	if st.queued || st.Completed {
 		return
 	}
-	s.pending[st] = true
+	st.queued = true
 	s.queue = append(s.queue, st)
+	s.syncCounts(st)
+}
+
+// dequeueHead removes the queue head, keeping the counters in sync.
+func (s *Server) dequeueHead(st *WUState) {
+	s.queue[s.qHead] = nil
+	s.qHead++
+	if st != nil {
+		st.queued = false
+		s.syncCounts(st)
+	}
+	s.compactQueue()
+}
+
+// compactPrefix drops a slice's consumed prefix once it dominates the
+// backing array, returning the compacted slice and head. Shared by the
+// workunit FIFO and the deadline ring so the policy lives in one place.
+func compactPrefix[T any](s []T, head int) ([]T, int) {
+	if head <= 1024 || head*2 <= len(s) {
+		return s, head
+	}
+	n := copy(s, s[head:])
+	var zero T
+	for i := n; i < len(s); i++ {
+		s[i] = zero
+	}
+	return s[:n], 0
 }
 
 // compactQueue drops the consumed prefix once it dominates the slice.
 func (s *Server) compactQueue() {
-	if s.qHead > 1024 && s.qHead*2 > len(s.queue) {
-		n := copy(s.queue, s.queue[s.qHead:])
-		for i := n; i < len(s.queue); i++ {
-			s.queue[i] = nil
-		}
-		s.queue = s.queue[:n]
-		s.qHead = 0
-	}
+	s.queue, s.qHead = compactPrefix(s.queue, s.qHead)
 }
 
-// HasWork reports whether a work request would succeed.
+// HasWork reports whether a work request would succeed. O(1).
 func (s *Server) HasWork() bool {
-	for i := s.qHead; i < len(s.queue); i++ {
-		st := s.queue[i]
-		if st != nil && !st.Completed && s.needsCopies(st) {
-			return true
-		}
-	}
-	return false
+	s.refreshQuorum()
+	return s.nNeedy > 0
 }
 
 // needsCopies reports whether more copies of st should be out, given the
 // quorum currently in force.
 func (s *Server) needsCopies(st *WUState) bool {
-	return st.validReturns+st.outstanding < s.quorum()
+	return st.validReturns+st.outstanding < s.qCache
 }
 
 // maybeComplete validates st against the quorum currently in force. This
@@ -219,11 +325,12 @@ func (s *Server) needsCopies(st *WUState) bool {
 // already holds enough valid returns under the new quorum completes without
 // waiting for further copies.
 func (s *Server) maybeComplete(st *WUState) {
-	if st.Completed || st.validReturns < s.quorum() {
+	if st.Completed || st.validReturns < s.qCache {
 		return
 	}
 	st.Completed = true
 	s.Stats.Completed++
+	s.syncCounts(st)
 	if s.OnComplete != nil {
 		s.OnComplete(st)
 	}
@@ -232,47 +339,79 @@ func (s *Server) maybeComplete(st *WUState) {
 // RequestWork hands out one copy, or nil if no work is available. The
 // deadline timer for the copy starts immediately.
 func (s *Server) RequestWork() *Assignment {
+	s.refreshQuorum()
 	for s.qHead < len(s.queue) {
 		st := s.queue[s.qHead]
 		if st != nil {
 			s.maybeComplete(st)
 		}
 		if st == nil || st.Completed || !s.needsCopies(st) {
-			s.queue[s.qHead] = nil
-			s.qHead++
-			delete(s.pending, st)
-			s.compactQueue()
+			s.dequeueHead(st)
 			continue
 		}
 		st.outstanding++
 		// If the workunit still needs more copies (quorum > 1), leave it
 		// at the queue head; otherwise it is consumed for now.
 		if !s.needsCopies(st) {
-			s.queue[s.qHead] = nil
-			s.qHead++
-			delete(s.pending, st)
-			s.compactQueue()
+			s.dequeueHead(st)
+		} else {
+			s.syncCounts(st)
 		}
 		s.Stats.Sent++
-		a := &Assignment{WU: st, IssuedAt: s.engine.Now()}
-		a.deadline = s.engine.After(s.cfg.Deadline, func() { s.timeout(a) })
+		a := slab.Carve(&s.asSlab)
+		a.WU = st
+		a.IssuedAt = s.engine.Now()
+		s.dlq = append(s.dlq, a)
+		if !s.dlArmed {
+			// Arm at the ring head's due time, not the new copy's: when a
+			// reentrant callback lands here mid-drain, earlier live
+			// entries may still be in the ring and must not fire late.
+			s.dlArmed = true
+			s.engine.Schedule(s.dlq[s.dlHead].IssuedAt+s.cfg.Deadline, s.drainFn)
+		}
 		return a
 	}
 	return nil
 }
 
-// timeout fires when a copy misses its deadline: the server issues a
-// replacement. The late copy may still come back and be counted (§5.1).
-func (s *Server) timeout(a *Assignment) {
-	if a.returned || a.WU.Completed {
-		return
+// drainDeadlines is the deadline wheel's single recurring event: it times
+// out every copy whose deadline has passed (in issue order, at exactly
+// IssuedAt+Deadline since the wheel is always armed for the head's due
+// time), discards copies that returned in the meantime, and re-arms itself
+// for the next live head.
+func (s *Server) drainDeadlines() {
+	s.dlArmed = false
+	s.refreshQuorum()
+	now := s.engine.Now()
+	for s.dlHead < len(s.dlq) {
+		a := s.dlq[s.dlHead]
+		dead := a.returned || a.WU.Completed
+		if !dead && a.IssuedAt+s.cfg.Deadline > now {
+			break
+		}
+		s.dlq[s.dlHead] = nil
+		s.dlHead++
+		if dead {
+			continue
+		}
+		// Timed out: the server issues a replacement. The late copy may
+		// still come back and be counted (§5.1).
+		s.Stats.TimedOut++
+		a.returned = true // the assignment no longer counts as live
+		a.WU.outstanding--
+		s.syncCounts(a.WU)
+		s.maybeComplete(a.WU)
+		if !a.WU.Completed {
+			s.enqueue(a.WU)
+		}
 	}
-	s.Stats.TimedOut++
-	a.WU.outstanding--
-	a.returned = true // the original assignment no longer counts as live
-	s.maybeComplete(a.WU)
-	if !a.WU.Completed {
-		s.enqueue(a.WU)
+	s.dlq, s.dlHead = compactPrefix(s.dlq, s.dlHead)
+	// An OnComplete callback above may have called RequestWork and armed
+	// the wheel already; re-arming unconditionally would fork a second,
+	// permanent drain chain.
+	if !s.dlArmed && s.dlHead < len(s.dlq) {
+		s.dlArmed = true
+		s.engine.Schedule(s.dlq[s.dlHead].IssuedAt+s.cfg.Deadline, s.drainFn)
 	}
 }
 
@@ -284,11 +423,12 @@ func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
 	if a == nil {
 		panic("wcg: Complete(nil)")
 	}
+	s.refreshQuorum()
 	late := a.returned
 	if !late {
 		a.returned = true
-		s.engine.Cancel(a.deadline)
 		a.WU.outstanding--
+		s.syncCounts(a.WU)
 	}
 	s.Stats.Received++
 	s.Stats.CPUSeconds += cpuSeconds
@@ -312,33 +452,21 @@ func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
 		s.Stats.WastedSeconds += cpuSeconds
 		return
 	}
+	// Whether it completes the workunit or advances the quorum, the
+	// result is useful.
 	a.WU.validReturns++
-	if a.WU.validReturns >= s.quorum() {
-		a.WU.Completed = true
-		s.Stats.Useful++
-		s.Stats.Completed++
-		if s.OnComplete != nil {
-			s.OnComplete(a.WU)
-		}
-		return
-	}
-	// Quorum not yet met: the result is useful (it advances the quorum).
 	s.Stats.Useful++
-	if s.needsCopies(a.WU) {
+	s.syncCounts(a.WU)
+	s.maybeComplete(a.WU)
+	if !a.WU.Completed && s.needsCopies(a.WU) {
 		s.enqueue(a.WU)
 	}
 }
 
 // PendingCount returns the number of workunits still waiting for copies or
-// validation (approximate queue depth; completed entries are skipped).
+// validation (queue depth; completed entries are not counted). O(1).
 func (s *Server) PendingCount() int {
-	n := 0
-	for i := s.qHead; i < len(s.queue); i++ {
-		if st := s.queue[i]; st != nil && !st.Completed {
-			n++
-		}
-	}
-	return n
+	return s.nQueuedLive
 }
 
 // String summarizes the server state for logs.
