@@ -68,8 +68,7 @@ const ciBenchScale = benchScale
 
 // benchCampaign measures whole-campaign simulations and, when BENCH_JSON
 // names a file, records the run in the BENCH_campaign.json trajectory.
-func benchCampaign(b *testing.B, name string, scale float64, label string) {
-	s := system()
+func benchCampaign(b *testing.B, name string, cfg project.Config, label string) {
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -77,7 +76,7 @@ func benchCampaign(b *testing.B, name string, scale float64, label string) {
 	start := time.Now()
 	var rep *project.Report
 	for i := 0; i < b.N; i++ {
-		rep = s.RunCampaign(scale, 0)
+		rep = project.New(cfg).Run()
 		if !rep.Completed {
 			b.Fatal("campaign did not complete")
 		}
@@ -85,6 +84,15 @@ func benchCampaign(b *testing.B, name string, scale float64, label string) {
 	elapsed := time.Since(start)
 	b.StopTimer()
 	runtime.ReadMemStats(&ms1)
+	recordBench(b, name, label, cfg, rep,
+		elapsed.Nanoseconds()/int64(b.N),
+		int64(ms1.TotalAlloc-ms0.TotalAlloc)/int64(b.N),
+		int64(ms1.Mallocs-ms0.Mallocs)/int64(b.N))
+}
+
+// recordBench reports the kernel-side metrics and, when BENCH_JSON names a
+// file, appends the run to the performance trajectory.
+func recordBench(b *testing.B, name, label string, cfg project.Config, rep *project.Report, nsPerOp, bytesPerOp, allocsPerOp int64) {
 	b.ReportMetric(float64(rep.EventsExecuted), "events/op")
 	b.ReportMetric(float64(rep.PeakPending), "peak-queue")
 	b.ReportMetric(rep.WeeksElapsed, "sim-weeks")
@@ -92,19 +100,23 @@ func benchCampaign(b *testing.B, name string, scale float64, label string) {
 	if path == "" {
 		return
 	}
-	if err := experiment.AppendBenchRun(path, experiment.BenchRun{
+	run := experiment.BenchRun{
 		Benchmark:       name,
 		Label:           label,
 		Date:            time.Now().UTC().Format("2006-01-02"),
-		Scale:           scale,
-		NsPerOp:         elapsed.Nanoseconds() / int64(b.N),
-		BytesPerOp:      int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
-		AllocsPerOp:     int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+		Scale:           cfg.WorkScale,
+		NsPerOp:         nsPerOp,
+		BytesPerOp:      bytesPerOp,
+		AllocsPerOp:     allocsPerOp,
 		EventsExecuted:  rep.EventsExecuted,
 		PeakQueueDepth:  rep.PeakPending,
 		SimWeeks:        rep.WeeksElapsed,
 		ResultsReceived: rep.ServerStats.Received,
-	}); err != nil {
+	}
+	if cfg.HostScale != cfg.WorkScale {
+		run.HostScale = cfg.HostScale
+	}
+	if err := experiment.AppendBenchRun(path, run); err != nil {
 		b.Fatalf("recording bench run: %v", err)
 	}
 	b.Logf("recorded %s (%s) in %s", name, label, path)
@@ -117,13 +129,65 @@ func benchCampaign(b *testing.B, name string, scale float64, label string) {
 //
 //	BENCH_JSON=BENCH_campaign.json go test -run xxx -bench CampaignFullScale -benchtime 2x
 func BenchmarkCampaignFullScale(b *testing.B) {
-	benchCampaign(b, "BenchmarkCampaignFullScale", 1, benchLabel())
+	benchCampaign(b, "BenchmarkCampaignFullScale", system().CampaignConfig(1, 0), benchLabel())
 }
 
 // BenchmarkCampaignCI is the CI-sized variant of the campaign benchmark,
 // recorded per PR by the benchmark smoke job.
 func BenchmarkCampaignCI(b *testing.B) {
-	benchCampaign(b, "BenchmarkCampaignCI", ciBenchScale, benchLabel())
+	benchCampaign(b, "BenchmarkCampaignCI", system().CampaignConfig(ciBenchScale, 0), benchLabel())
+}
+
+// BenchmarkCampaignGrid10x is the grid-growth scale milestone: the full
+// workload on a grid ten times the 2007 capacity (HostScale=10, ~260k
+// volunteer hosts at peak), packaged at 1-hour workunits so the result
+// stream grows with the fleet — ~13M distinct workunits and tens of
+// millions of kernel events end to end. Run it with
+//
+//	BENCH_JSON=BENCH_campaign.json go test -run xxx -bench CampaignGrid10x -benchtime 1x
+func BenchmarkCampaignGrid10x(b *testing.B) {
+	cfg := system().CampaignConfig(1, 1) // 1-hour workunits
+	cfg.HostScale = 10
+	benchCampaign(b, "BenchmarkCampaignGrid10x", cfg, benchLabel())
+}
+
+// BenchmarkSweepCell measures one sweep cell through the pooled
+// project.Runner — the unit of work internal/experiment schedules per
+// worker. The first run (outside the timed loop) builds the arenas; every
+// timed iteration is a steady-state replication reusing them. The
+// steady-vs-first-% metric is the reuse payoff: steady-state replications
+// must allocate under 10 % of the first run's bytes.
+func BenchmarkSweepCell(b *testing.B) {
+	cfg := system().CampaignConfig(1.0/84, 0) // the sweep CLI's default scale
+	runner := project.NewRunner()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	if rep := runner.Run(cfg); !rep.Completed {
+		b.Fatal("first campaign did not complete")
+	}
+	runtime.ReadMemStats(&ms1)
+	firstBytes := ms1.TotalAlloc - ms0.TotalAlloc
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	var rep *project.Report
+	for i := 0; i < b.N; i++ {
+		rep = runner.Run(cfg)
+		if !rep.Completed {
+			b.Fatal("campaign did not complete")
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	steadyBytes := int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N)
+	b.ReportMetric(float64(steadyBytes)/float64(firstBytes)*100, "steady-vs-first-%")
+	recordBench(b, "BenchmarkSweepCell", benchLabel(), cfg, rep,
+		elapsed.Nanoseconds()/int64(b.N), steadyBytes,
+		int64(ms1.Mallocs-ms0.Mallocs)/int64(b.N))
 }
 
 // benchLabel tags recorded runs; CI sets BENCH_LABEL to the PR/commit.

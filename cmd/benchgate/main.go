@@ -1,0 +1,55 @@
+// Command benchgate is the CI allocation-regression gate: it compares a
+// freshly measured benchmark file against the checked-in
+// BENCH_campaign.json baseline and exits non-zero when allocs/op grew
+// beyond the allowed margin. Allocations are deterministic for a
+// deterministic simulation, so the gate is machine-independent — unlike
+// ns/op, which is deliberately not gated.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_campaign.json -current BENCH_ci.json \
+//	          [-bench BenchmarkCampaignCI] [-max-alloc-growth 0.10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_campaign.json", "checked-in benchmark trajectory (the baseline)")
+	current := flag.String("current", "", "freshly measured benchmark file to gate")
+	bench := flag.String("bench", "BenchmarkCampaignCI", "benchmark name to compare")
+	maxGrowth := flag.Float64("max-alloc-growth", 0.10, "allowed allocs/op growth over the baseline (0.10 = +10%)")
+	flag.Parse()
+
+	if err := run(*baseline, *current, *bench, *maxGrowth); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath, bench string, maxGrowth float64) error {
+	if currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	base, err := experiment.ReadBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := experiment.ReadBenchFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if err := experiment.AllocGate(base, cur, bench, maxGrowth); err != nil {
+		return err
+	}
+	b, _ := base.LatestRun(bench)
+	c, _ := cur.LatestRun(bench)
+	fmt.Printf("benchgate: %s ok — %d allocs/op (%q) vs %d baseline (%q), limit +%.0f%%\n",
+		bench, c.AllocsPerOp, c.Label, b.AllocsPerOp, b.Label, maxGrowth*100)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	sweep -list
 //	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
 //
@@ -16,7 +17,9 @@
 //	sweep -resume                                 # continue a killed sweep
 //
 // With -out the sweep also writes sweep.json (all runs + aggregates) and
-// sweep.csv (per-scenario mean/std/ci95 rows).
+// sweep.csv (per-scenario mean/std/ci95 rows). With -cpuprofile /
+// -memprofile it writes pprof files covering the whole sweep, so perf
+// work on the simulator is profile-driven (go tool pprof cpu.out).
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -54,7 +58,35 @@ func run() error {
 	resume := flag.Bool("resume", false, "reuse completed runs from the checkpoint instead of starting over")
 	out := flag.String("out", "", "directory for sweep.json and sweep.csv (optional)")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live set so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		t := report.NewTable("Scenario catalog", "name", "description")

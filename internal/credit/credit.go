@@ -20,7 +20,6 @@ package credit
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/stats"
 )
@@ -54,27 +53,57 @@ type Result struct {
 }
 
 // Ledger accumulates points per device and over time.
+//
+// The data plane is dense: devices and points are slices indexed by device
+// ID, and the weekly rollup is a slice indexed by week number — device IDs
+// in this repository are small sequential integers (the volunteer
+// population's join counter), so dense indexing replaces three map lookups
+// per credited result with three array accesses. A slot with Score == 0
+// is unregistered (Register rejects non-positive scores, so a registered
+// device always has Score > 0).
 type Ledger struct {
-	devices map[int]Device
-	points  map[int]float64
+	devices []Device  // by device ID; Score == 0 marks an empty slot
+	points  []float64 // by device ID
+	weekly  []float64 // by week index
+	n       int       // registered devices
 	total   float64
-	weekly  map[int]float64
 	// reported run time total, for the VFTP comparison
 	reportedS float64
 }
 
 // NewLedger creates an empty points ledger.
 func NewLedger() *Ledger {
-	return &Ledger{
-		devices: make(map[int]Device),
-		points:  make(map[int]float64),
-		weekly:  make(map[int]float64),
-	}
+	return &Ledger{}
 }
 
-// Register adds (or updates) a device.
+// Reset empties the ledger for another run, retaining the dense backing
+// slices so a pooled run context accumulates without allocating.
+func (l *Ledger) Reset() {
+	clear(l.devices)
+	l.devices = l.devices[:0]
+	clear(l.points)
+	l.points = l.points[:0]
+	clear(l.weekly)
+	l.weekly = l.weekly[:0]
+	l.n = 0
+	l.total, l.reportedS = 0, 0
+}
+
+// Register adds (or updates) a device. IDs must be non-negative; the
+// ledger is dense in the ID, so IDs should be small sequential integers
+// (a sparse ID costs one empty slot per skipped value).
 func (l *Ledger) Register(d Device) {
 	d.Weight() // validate
+	if d.ID < 0 {
+		panic(fmt.Sprintf("credit: negative device ID %d", d.ID))
+	}
+	for len(l.devices) <= d.ID {
+		l.devices = append(l.devices, Device{})
+		l.points = append(l.points, 0)
+	}
+	if l.devices[d.ID].Score == 0 {
+		l.n++
+	}
 	l.devices[d.ID] = d
 }
 
@@ -83,20 +112,26 @@ func (l *Ledger) Register(d Device) {
 const PointsPerSecond = 1.0 / 3600
 
 // Credit grants points for a result: reported time × device weight.
-// It returns the points granted and an error if the device is unknown.
+// It returns the points granted and an error if the device is unknown,
+// the reported time is negative, or the completion time is negative.
 func (l *Ledger) Credit(r Result) (float64, error) {
-	d, ok := l.devices[r.Device]
-	if !ok {
+	if r.Device < 0 || r.Device >= len(l.devices) || l.devices[r.Device].Score == 0 {
 		return 0, fmt.Errorf("credit: unknown device %d", r.Device)
 	}
 	if r.ReportedS < 0 {
 		return 0, fmt.Errorf("credit: negative reported time %v", r.ReportedS)
 	}
-	pts := r.ReportedS * d.Weight() * PointsPerSecond
+	if r.At < 0 {
+		return 0, fmt.Errorf("credit: negative completion time %v", r.At)
+	}
+	pts := r.ReportedS * l.devices[r.Device].Weight() * PointsPerSecond
 	l.points[r.Device] += pts
 	l.total += pts
 	l.reportedS += r.ReportedS
 	week := int(r.At / (7 * 86400))
+	for len(l.weekly) <= week {
+		l.weekly = append(l.weekly, 0)
+	}
 	l.weekly[week] += pts
 	return pts, nil
 }
@@ -104,14 +139,23 @@ func (l *Ledger) Credit(r Result) (float64, error) {
 // Total returns all points granted.
 func (l *Ledger) Total() float64 { return l.total }
 
-// DevicePoints returns the points of one device.
-func (l *Ledger) DevicePoints(id int) float64 { return l.points[id] }
+// DevicePoints returns the points of one device (0 if unknown).
+func (l *Ledger) DevicePoints(id int) float64 {
+	if id < 0 || id >= len(l.points) {
+		return 0
+	}
+	return l.points[id]
+}
 
 // WeeklySeries returns points per week as a series over [0, maxWeek].
 func (l *Ledger) WeeklySeries(maxWeek int) *stats.Series {
 	s := stats.NewSeries("points-per-week")
 	for w := 0; w <= maxWeek; w++ {
-		s.Add(float64(w), l.weekly[w])
+		v := 0.0
+		if w < len(l.weekly) {
+			v = l.weekly[w]
+		}
+		s.Add(float64(w), v)
 	}
 	return s
 }
@@ -146,21 +190,18 @@ func (l *Ledger) AccountingBias() float64 {
 // times (in weeks): the conclusion's "trend toward more powerful processors
 // in desktop computers". Returns the score gained per week and the fit.
 func (l *Ledger) PowerTrend() (perWeek float64, fit stats.LinearFit, ok bool) {
-	if len(l.devices) < 2 {
+	if l.n < 2 {
 		return 0, stats.LinearFit{}, false
 	}
-	// Iterate devices in ID order: map order is randomized, and the fit's
-	// floating-point sums are order-sensitive in their last bits, which
-	// would break the repository's bit-for-bit determinism guarantee.
-	ids := make([]int, 0, len(l.devices))
-	for id := range l.devices {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	xs := make([]float64, 0, len(l.devices))
-	ys := make([]float64, 0, len(l.devices))
-	for _, id := range ids {
-		d := l.devices[id]
+	// The dense slice iterates in ID order by construction, which keeps the
+	// fit's order-sensitive floating-point sums bit-for-bit reproducible
+	// (the property the pre-dense ledger got from sorting its map keys).
+	xs := make([]float64, 0, l.n)
+	ys := make([]float64, 0, l.n)
+	for _, d := range l.devices {
+		if d.Score == 0 {
+			continue
+		}
 		xs = append(xs, d.JoinedAt/(7*86400))
 		ys = append(ys, d.Score)
 	}

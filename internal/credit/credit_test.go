@@ -2,9 +2,11 @@ package credit
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 func TestWeight(t *testing.T) {
@@ -162,6 +164,178 @@ func TestPowerTrendDegenerate(t *testing.T) {
 	// Same join time: no trend computable.
 	if _, _, ok := l.PowerTrend(); ok {
 		t.Fatal("same-join-time fleet should have no trend")
+	}
+}
+
+// mapLedger is the pre-dense reference implementation: the ledger exactly
+// as it was when backed by map[int] lookups. The equivalence test feeds it
+// and the dense Ledger the same traffic and demands bit-identical output.
+type mapLedger struct {
+	devices   map[int]Device
+	points    map[int]float64
+	weekly    map[int]float64
+	total     float64
+	reportedS float64
+}
+
+func newMapLedger() *mapLedger {
+	return &mapLedger{
+		devices: make(map[int]Device),
+		points:  make(map[int]float64),
+		weekly:  make(map[int]float64),
+	}
+}
+
+func (l *mapLedger) register(d Device) { l.devices[d.ID] = d }
+
+func (l *mapLedger) credit(r Result) float64 {
+	d := l.devices[r.Device]
+	pts := r.ReportedS * d.Weight() * PointsPerSecond
+	l.points[r.Device] += pts
+	l.total += pts
+	l.reportedS += r.ReportedS
+	l.weekly[int(r.At/(7*86400))] += pts
+	return pts
+}
+
+func (l *mapLedger) accountingBias() float64 { return l.reportedS * PointsPerSecond / l.total }
+
+func (l *mapLedger) powerTrend() (float64, stats.LinearFit, bool) {
+	if len(l.devices) < 2 {
+		return 0, stats.LinearFit{}, false
+	}
+	ids := make([]int, 0, len(l.devices))
+	for id := range l.devices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	xs := make([]float64, 0, len(l.devices))
+	ys := make([]float64, 0, len(l.devices))
+	for _, id := range ids {
+		d := l.devices[id]
+		xs = append(xs, d.JoinedAt/(7*86400))
+		ys = append(ys, d.Score)
+	}
+	allSame := true
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		return 0, stats.LinearFit{}, false
+	}
+	fit := stats.FitLine(xs, ys)
+	return fit.A, fit, true
+}
+
+// TestDenseLedgerMatchesMapReference is the byte-determinism regression
+// for the dense data plane: on randomized fleets and result streams, every
+// ledger output must be bit-for-bit identical (math.Float64bits, not
+// epsilon) to the pre-change map-backed implementation.
+func TestDenseLedgerMatchesMapReference(t *testing.T) {
+	same := func(name string, a, b float64) {
+		t.Helper()
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s diverged: dense %v (%x) vs map %v (%x)",
+				name, a, math.Float64bits(a), b, math.Float64bits(b))
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		r := rng.New(uint64(100 + trial))
+		dense := NewLedger()
+		ref := newMapLedger()
+		nDev := 50 + r.Intn(200)
+		for id := 0; id < nDev; id++ {
+			d := Device{
+				ID:       id,
+				Score:    ReferenceScore * (0.2 + r.Float64()),
+				JoinedAt: r.Float64() * 30 * 7 * 86400,
+			}
+			dense.Register(d)
+			ref.register(d)
+		}
+		maxWeek := 0
+		for i := 0; i < 5000; i++ {
+			res := Result{
+				Device:    r.Intn(nDev),
+				ReportedS: r.Float64() * 1e5,
+				At:        r.Float64() * 40 * 7 * 86400,
+			}
+			if w := int(res.At / (7 * 86400)); w > maxWeek {
+				maxWeek = w
+			}
+			got, err := dense.Credit(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same("per-result points", got, ref.credit(res))
+		}
+		same("total", dense.Total(), ref.total)
+		same("accounting bias", dense.AccountingBias(), ref.accountingBias())
+		for id := 0; id < nDev; id++ {
+			same("device points", dense.DevicePoints(id), ref.points[id])
+		}
+		ws := dense.WeeklySeries(maxWeek + 1)
+		for i, w := range ws.X {
+			same("weekly", ws.Y[i], ref.weekly[int(w)])
+		}
+		dTrend, dFit, dOK := dense.PowerTrend()
+		mTrend, mFit, mOK := ref.powerTrend()
+		if dOK != mOK {
+			t.Fatalf("trend availability diverged: %v vs %v", dOK, mOK)
+		}
+		same("trend", dTrend, mTrend)
+		same("trend R2", dFit.R2, mFit.R2)
+		same("trend intercept", dFit.B, mFit.B)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	run := func(l *Ledger) (float64, float64, float64) {
+		l.Register(Device{ID: 0, Score: 80, JoinedAt: 0})
+		l.Register(Device{ID: 1, Score: 120, JoinedAt: 7 * 86400})
+		l.Register(Device{ID: 2, Score: 140, JoinedAt: 14 * 86400})
+		for i := 0; i < 300; i++ {
+			if _, err := l.Credit(Result{Device: i % 3, ReportedS: float64(1000 + i), At: float64(i) * 86400}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l.Total(), l.DevicePoints(1), l.AccountingBias()
+	}
+	fresh := NewLedger()
+	wantT, wantP, wantB := run(fresh)
+
+	reused := NewLedger()
+	reused.Register(Device{ID: 7, Score: 50})
+	reused.Credit(Result{Device: 7, ReportedS: 12345, At: 3e6})
+	reused.Reset()
+	if reused.Total() != 0 || reused.DevicePoints(7) != 0 {
+		t.Fatalf("reset ledger kept points: total=%v", reused.Total())
+	}
+	if _, err := reused.Credit(Result{Device: 7, ReportedS: 1}); err == nil {
+		t.Fatal("reset ledger kept device registrations")
+	}
+	gotT, gotP, gotB := run(reused)
+	if math.Float64bits(gotT) != math.Float64bits(wantT) ||
+		math.Float64bits(gotP) != math.Float64bits(wantP) ||
+		math.Float64bits(gotB) != math.Float64bits(wantB) {
+		t.Fatalf("reused ledger diverged: %v/%v %v/%v %v/%v", gotT, wantT, gotP, wantP, gotB, wantB)
+	}
+}
+
+func TestLedgerRejectsBadResults(t *testing.T) {
+	l := NewLedger()
+	l.Register(Device{ID: 3, Score: 100})
+	if _, err := l.Credit(Result{Device: 3, ReportedS: 1, At: -1}); err == nil {
+		t.Fatal("negative completion time accepted")
+	}
+	if _, err := l.Credit(Result{Device: -1, ReportedS: 1}); err == nil {
+		t.Fatal("negative device ID accepted")
+	}
+	if _, err := l.Credit(Result{Device: 2, ReportedS: 1}); err == nil {
+		t.Fatal("unregistered in-range device accepted")
 	}
 }
 

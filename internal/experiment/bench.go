@@ -15,18 +15,19 @@ const BenchSchema = "bench-campaign/v1"
 // simulation kernel itself, so a run is comparable across machines (same
 // events executed) and within a machine (ns/op).
 type BenchRun struct {
-	Benchmark       string  `json:"benchmark"`        // e.g. "BenchmarkCampaignFullScale"
-	Label           string  `json:"label"`            // e.g. "post-refactor (PR 2)"
-	Date            string  `json:"date,omitempty"`   // YYYY-MM-DD the run was recorded
-	CPU             string  `json:"cpu,omitempty"`    // informational; ns/op is machine-bound
-	Scale           float64 `json:"scale"`            // WorkScale = HostScale of the run
-	NsPerOp         int64   `json:"ns_per_op"`        // wall-clock per campaign
-	BytesPerOp      int64   `json:"bytes_per_op"`     // heap allocated per campaign
-	AllocsPerOp     int64   `json:"allocs_per_op"`    // heap allocations per campaign
-	EventsExecuted  uint64  `json:"events_executed"`  // kernel events per campaign
-	PeakQueueDepth  int     `json:"peak_queue_depth"` // event-queue high-water mark
-	SimWeeks        float64 `json:"sim_weeks"`        // simulated campaign duration
-	ResultsReceived int64   `json:"results_received"` // returned results per campaign
+	Benchmark       string  `json:"benchmark"`            // e.g. "BenchmarkCampaignFullScale"
+	Label           string  `json:"label"`                // e.g. "post-refactor (PR 2)"
+	Date            string  `json:"date,omitempty"`       // YYYY-MM-DD the run was recorded
+	CPU             string  `json:"cpu,omitempty"`        // informational; ns/op is machine-bound
+	Scale           float64 `json:"scale"`                // WorkScale of the run
+	HostScale       float64 `json:"host_scale,omitempty"` // only when ≠ Scale (grid-growth runs)
+	NsPerOp         int64   `json:"ns_per_op"`            // wall-clock per campaign
+	BytesPerOp      int64   `json:"bytes_per_op"`         // heap allocated per campaign
+	AllocsPerOp     int64   `json:"allocs_per_op"`        // heap allocations per campaign
+	EventsExecuted  uint64  `json:"events_executed"`      // kernel events per campaign
+	PeakQueueDepth  int     `json:"peak_queue_depth"`     // event-queue high-water mark
+	SimWeeks        float64 `json:"sim_weeks"`            // simulated campaign duration
+	ResultsReceived int64   `json:"results_received"`     // returned results per campaign
 }
 
 // BenchFile is the on-disk BENCH_campaign.json: an append-mostly log of
@@ -84,4 +85,50 @@ func AppendBenchRun(path string, run BenchRun) error {
 		f.Runs = append(f.Runs, run)
 	}
 	return WriteBenchFile(path, f)
+}
+
+// LatestRun returns the most recently recorded run of the named
+// benchmark: the row with the greatest Date, later rows winning ties.
+// Position alone is not enough — AppendBenchRun replaces an existing
+// (benchmark, label) row in place, so a re-recorded older label can sit
+// before a stale newer one in the file.
+func (f *BenchFile) LatestRun(bench string) (BenchRun, bool) {
+	best := -1
+	for i, r := range f.Runs {
+		if r.Benchmark != bench {
+			continue
+		}
+		// Dates are YYYY-MM-DD, so lexicographic order is date order;
+		// an absent Date ("") loses to any dated row.
+		if best == -1 || r.Date >= f.Runs[best].Date {
+			best = i
+		}
+	}
+	if best == -1 {
+		return BenchRun{}, false
+	}
+	return f.Runs[best], true
+}
+
+// AllocGate is the CI allocation-regression gate: it compares the latest
+// current run of bench against the latest baseline run and returns an
+// error when allocs/op grew by more than maxGrowth (0.10 = +10 %).
+// ns/op is deliberately not gated — CI machines vary — but allocations
+// are deterministic for a deterministic simulation, so a breach means the
+// change really did add per-op allocations.
+func AllocGate(baseline, current *BenchFile, bench string, maxGrowth float64) error {
+	base, ok := baseline.LatestRun(bench)
+	if !ok {
+		return fmt.Errorf("experiment: baseline has no %s run", bench)
+	}
+	cur, ok := current.LatestRun(bench)
+	if !ok {
+		return fmt.Errorf("experiment: current file has no %s run", bench)
+	}
+	limit := int64(float64(base.AllocsPerOp) * (1 + maxGrowth))
+	if cur.AllocsPerOp > limit {
+		return fmt.Errorf("experiment: %s allocs/op regressed: %d (%q) > %d baseline (%q) +%.0f%% = %d",
+			bench, cur.AllocsPerOp, cur.Label, base.AllocsPerOp, base.Label, maxGrowth*100, limit)
+	}
+	return nil
 }

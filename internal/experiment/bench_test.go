@@ -51,6 +51,62 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLatestRunPicksFreshestDate(t *testing.T) {
+	// AppendBenchRun replaces a re-recorded label in place, so the most
+	// recent measurement can sit BEFORE a stale row: LatestRun must go by
+	// date, not file position.
+	f := &BenchFile{Runs: []BenchRun{
+		{Benchmark: "B", Label: "pr2", Date: "2026-07-30", AllocsPerOp: 111}, // re-recorded later
+		{Benchmark: "B", Label: "pr3", Date: "2026-07-29", AllocsPerOp: 222},
+	}}
+	r, ok := f.LatestRun("B")
+	if !ok || r.Label != "pr2" {
+		t.Fatalf("LatestRun = %+v, want the re-recorded pr2 row", r)
+	}
+	// Equal dates: the later row wins.
+	f.Runs[0].Date = "2026-07-29"
+	if r, _ := f.LatestRun("B"); r.Label != "pr3" {
+		t.Fatalf("tie should go to the later row, got %+v", r)
+	}
+	// Undated rows lose to dated ones.
+	f.Runs = append(f.Runs, BenchRun{Benchmark: "B", Label: "hand-written"})
+	if r, _ := f.LatestRun("B"); r.Label != "pr3" {
+		t.Fatalf("undated row beat a dated one: %+v", r)
+	}
+	if _, ok := f.LatestRun("missing"); ok {
+		t.Fatal("missing benchmark reported found")
+	}
+}
+
+func TestAllocGate(t *testing.T) {
+	base := &BenchFile{Runs: []BenchRun{
+		{Benchmark: "BenchmarkCampaignCI", Label: "old", AllocsPerOp: 5000},
+		{Benchmark: "BenchmarkCampaignCI", Label: "baseline", AllocsPerOp: 1000},
+		{Benchmark: "BenchmarkOther", Label: "x", AllocsPerOp: 1},
+	}}
+	cur := func(allocs int64) *BenchFile {
+		return &BenchFile{Runs: []BenchRun{
+			{Benchmark: "BenchmarkCampaignCI", Label: "pr", AllocsPerOp: allocs},
+		}}
+	}
+	// The gate compares against the LATEST baseline row (1000, not 5000).
+	if err := AllocGate(base, cur(1100), "BenchmarkCampaignCI", 0.10); err != nil {
+		t.Fatalf("within margin rejected: %v", err)
+	}
+	if err := AllocGate(base, cur(1101), "BenchmarkCampaignCI", 0.10); err == nil {
+		t.Fatal("regression above margin accepted")
+	}
+	if err := AllocGate(base, cur(900), "BenchmarkCampaignCI", 0.10); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+	if err := AllocGate(base, cur(1), "BenchmarkMissing", 0.10); err == nil {
+		t.Fatal("missing baseline benchmark accepted")
+	}
+	if err := AllocGate(cur(1), base, "BenchmarkOther", 0.10); err == nil {
+		t.Fatal("missing current benchmark accepted")
+	}
+}
+
 func TestReadBenchFileRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -173,6 +173,11 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled run context per worker: the first cell builds the
+			// slabs, heaps and host arrays, every later cell reuses them.
+			// Runner reports are valid until the next Run call, which is
+			// fine here: ExtractMetrics copies the scalars out immediately.
+			runner := project.NewRunner()
 			for i := range jobs {
 				c := cells[i]
 				sc := opts.Scenarios[c.scenIdx]
@@ -196,7 +201,7 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					Seed:     seed,
 					Scale:    opts.Base.WorkScale,
 					HHours:   opts.Base.HHours,
-					Metrics:  ExtractMetrics(project.New(cfg).Run()),
+					Metrics:  ExtractMetrics(runner.Run(cfg)),
 				}
 				if opts.Checkpoint != nil {
 					opts.Checkpoint.Record(res)

@@ -234,7 +234,7 @@ type Campaign struct {
 	engine  *sim.Engine
 	server  *wcg.Server
 	pop     *volunteer.Population
-	batches []*batch
+	batches []batch
 	order   []int // batch release order (indexes into batches)
 
 	next        int // next batch to release
@@ -243,11 +243,26 @@ type Campaign struct {
 	weeklyCPU   []float64
 	weeklyCount []int64
 
+	// Reusable scratch: the ligand-sampling bitset (one bit per ligand
+	// column) and the sampled-index buffer, shared by every releaseBatch
+	// and every pooled run.
+	seenBits   []uint64
+	ligScratch []int
+
+	ledger *credit.Ledger
+
+	// pooled marks a Runner-owned campaign: its arenas survive Run for the
+	// next reset. A one-shot campaign instead releases them when Run ends —
+	// the Report is a field of this struct, so a caller keeping the report
+	// alive would otherwise pin every arena chunk of the finished run.
+	pooled bool
+
 	report Report
 }
 
-// New builds a campaign from the configuration.
-func New(cfg Config) *Campaign {
+// checkConfig validates cfg and fills in defaulted fields; New and reset
+// share it so a pooled campaign enforces exactly the constructor's rules.
+func checkConfig(cfg Config) Config {
 	if cfg.DS == nil || cfg.M == nil {
 		panic("project: config needs dataset and matrix")
 	}
@@ -263,34 +278,108 @@ func New(cfg Config) *Campaign {
 	if cfg.MaxWeeks <= 0 {
 		cfg.MaxWeeks = 60
 	}
+	return cfg
+}
+
+// New builds a campaign from the configuration.
+func New(cfg Config) *Campaign {
+	cfg = checkConfig(cfg)
 	c := &Campaign{cfg: cfg, engine: sim.NewEngine()}
 	c.server = wcg.NewServer(c.engine, cfg.Server)
 	c.pop = volunteer.NewPopulation(c.engine, c.server, cfg.Host, rng.New(cfg.Seed))
+	c.ledger = credit.NewLedger()
 	c.report.Config = cfg
 	c.report.ReportedHours = stats.NewHistogram(0, 80, 80)
 	return c
+}
+
+// reset rearms the campaign for another run under a new configuration,
+// retaining every layer's backing storage: the kernel's heap and event
+// arena, the middleware's queue/ring/state arenas, the host-struct pool,
+// the batch plans, the weekly accumulators, the credit ledger's dense
+// slices, and the report's series/histogram buffers. The previous run's
+// Report is overwritten — this is the Runner's pooled path.
+func (c *Campaign) reset(cfg Config) {
+	cfg = checkConfig(cfg)
+	c.cfg = cfg
+	c.engine.Reset()
+	c.server.Reset(cfg.Server)
+	c.pop.Reset(cfg.Host, rng.New(cfg.Seed))
+	c.ledger.Reset()
+	c.next, c.outstanding = 0, 0
+	c.weeklyCPU = c.weeklyCPU[:0]
+	c.weeklyCount = c.weeklyCount[:0]
+
+	r := &c.report
+	hist := r.ReportedHours
+	hcmd, grid, results := r.HCMDVFTP, r.GridVFTP, r.ResultsWeek
+	snaps := r.Snapshots[:0]
+	*r = Report{Config: cfg}
+	hist.Reset()
+	r.ReportedHours = hist
+	r.HCMDVFTP, r.GridVFTP, r.ResultsWeek = hcmd, grid, results
+	r.Snapshots = snaps
+}
+
+// Runner runs campaigns back to back on one reusable arena of state: the
+// first Run builds every slab, heap and host array, and each subsequent
+// Run recycles them, so a steady-state replication allocates a small
+// fraction of a fresh campaign. The returned Report (and everything it
+// references: series, histogram, snapshots) is owned by the Runner and
+// valid only until the next Run call — callers that need a run's output
+// past that point must copy what they keep. A Runner is not safe for
+// concurrent use; pool one per worker.
+type Runner struct {
+	c *Campaign
+}
+
+// NewRunner returns an empty runner; the first Run builds its arenas.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run simulates one campaign, reusing the previous run's storage.
+// Reports are bit-for-bit identical to New(cfg).Run() for the same cfg.
+func (r *Runner) Run(cfg Config) *Report {
+	if r.c == nil {
+		r.c = New(cfg)
+		r.c.pooled = true
+		// Retain from the start so the first run's chunks already land in
+		// the reusable arenas (before any workunit is carved).
+		r.c.server.Retain()
+	} else {
+		r.c.reset(cfg)
+	}
+	return r.c.Run()
 }
 
 // ligandsFor returns the (possibly subsampled) ligand list for a receptor.
 // The sample is offset by the receptor index so that across receptors every
 // ligand column is drawn evenly — plain striding from 0 would bias the
 // scaled workload toward a few ligands' cost profile.
+//
+// The returned slice is scratch owned by the campaign, valid until the
+// next ligandsFor call; the sampling set is a reusable bitset, so repeated
+// batch releases allocate nothing once the scratch has grown.
 func (c *Campaign) ligandsFor(receptor int) []int {
 	n := c.cfg.DS.Len()
 	count := int(math.Round(float64(n) * c.cfg.WorkScale))
 	if count < 1 {
 		count = 1
 	}
+	out := c.ligScratch[:0]
 	if count >= n {
-		out := make([]int, n)
-		for j := range out {
-			out[j] = j
+		for j := 0; j < n; j++ {
+			out = append(out, j)
 		}
+		c.ligScratch = out
 		return out
 	}
+	words := (n + 63) / 64
+	if cap(c.seenBits) < words {
+		c.seenBits = make([]uint64, words)
+	}
+	seen := c.seenBits[:words]
+	clear(seen)
 	stride := float64(n) / float64(count)
-	out := make([]int, 0, count)
-	seen := make(map[int]bool, count)
 	// The offset multiplies the receptor index by a constant coprime with
 	// typical dataset sizes so the sampled ligand is unrelated to the
 	// receptor (receptor+k would select the diagonal at count=1, which is
@@ -298,23 +387,29 @@ func (c *Campaign) ligandsFor(receptor int) []int {
 	const scatter = 53
 	for k := 0; k < count; k++ {
 		j := (receptor*scatter + int(math.Round(float64(k)*stride))) % n
-		for seen[j] {
+		for seen[j>>6]&(1<<(j&63)) != 0 {
 			j = (j + 1) % n
 		}
-		seen[j] = true
+		seen[j>>6] |= 1 << (j & 63)
 		out = append(out, j)
 	}
+	c.ligScratch = out
 	return out
 }
 
-// prepare builds batches and their release order.
+// prepare builds batches and their release order, reusing the previous
+// run's batch array and slicing-plan capacity when the campaign is pooled.
 func (c *Campaign) prepare() {
 	ds, m := c.cfg.DS, c.cfg.M
-	c.batches = make([]*batch, ds.Len())
+	if cap(c.batches) < ds.Len() {
+		c.batches = make([]batch, ds.Len())
+	} else {
+		c.batches = c.batches[:ds.Len()]
+	}
 	for i := range c.batches {
-		b := &batch{receptor: i}
+		b := &c.batches[i]
+		*b = batch{receptor: i, plan: b.plan[:0]}
 		ligands := c.ligandsFor(i)
-		b.plan = make([]slicePlan, 0, len(ligands))
 		for _, j := range ligands {
 			nsep := workunit.SliceCouple(c.cfg.HHours*3600, m.At(i, j), ds.Proteins[i].Nsep)
 			b.plan = append(b.plan, slicePlan{ligand: j, nsep: nsep})
@@ -322,11 +417,14 @@ func (c *Campaign) prepare() {
 			b.cost += float64(ds.Proteins[i].Nsep) * m.At(i, j)
 		}
 		b.remaining = b.total
-		c.batches[i] = b
 		c.report.TotalRefWork += b.cost
 		c.report.DistinctWUs += int64(b.total)
 	}
-	c.order = make([]int, len(c.batches))
+	if cap(c.order) < len(c.batches) {
+		c.order = make([]int, len(c.batches))
+	} else {
+		c.order = c.order[:len(c.batches)]
+	}
 	for i := range c.order {
 		c.order[i] = i
 	}
@@ -350,7 +448,7 @@ func (c *Campaign) prepare() {
 // slicing plan prepare() computed.
 func (c *Campaign) releaseBatch(orderIdx int) {
 	bi := c.order[orderIdx]
-	b := c.batches[bi]
+	b := &c.batches[bi]
 	ds, m := c.cfg.DS, c.cfg.M
 	rec := b.receptor
 	total := ds.Proteins[rec].Nsep
@@ -395,7 +493,7 @@ func (c *Campaign) Run() *Report {
 	c.prepare()
 
 	c.server.OnComplete = func(st *wcg.WUState) {
-		b := c.batches[st.Batch]
+		b := &c.batches[st.Batch]
 		b.remaining--
 		b.doneRef += st.WU.RefSeconds
 		if b.remaining == 0 {
@@ -461,6 +559,15 @@ func (c *Campaign) Run() *Report {
 	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
 
 	c.finishReport(done, doneWeek)
+	if !c.pooled {
+		// Release the run context: kernel, middleware, hosts, scratch. The
+		// returned report shares this struct, and a one-shot caller holding
+		// it must not keep the dead simulation's arenas live with it.
+		c.engine, c.server, c.pop, c.ledger = nil, nil, nil, nil
+		c.batches, c.order = nil, nil
+		c.weeklyCPU, c.weeklyCount = nil, nil
+		c.seenBits, c.ligScratch = nil, nil
+	}
 	return &c.report
 }
 
@@ -472,7 +579,7 @@ func (c *Campaign) captureSnapshot(week float64) {
 	s := Snapshot{Week: week, PerBatch: make([]float64, len(c.order))}
 	var doneRef, totalRef float64
 	for i, bi := range c.order {
-		b := c.batches[bi]
+		b := &c.batches[bi]
 		frac := 0.0
 		if b.cost > 0 {
 			frac = b.doneRef / b.cost
@@ -507,10 +614,11 @@ func (c *Campaign) finishReport(done bool, doneWeek float64) {
 		r.WeeksElapsed = c.cfg.MaxWeeks
 	}
 
-	// De-scale the weekly series to real units.
-	r.HCMDVFTP = stats.NewSeries("hcmd-vftp")
-	r.ResultsWeek = stats.NewSeries("results-per-week")
-	r.GridVFTP = stats.NewSeries("grid-vftp")
+	// De-scale the weekly series to real units. The series buffers are
+	// reused when the campaign is pooled (reset keeps them in the report).
+	r.HCMDVFTP = resetSeries(r.HCMDVFTP, "hcmd-vftp")
+	r.ResultsWeek = resetSeries(r.ResultsWeek, "results-per-week")
+	r.GridVFTP = resetSeries(r.GridVFTP, "grid-vftp")
 	nWeeks := int(r.WeeksElapsed)
 	if nWeeks > len(c.weeklyCPU) {
 		nWeeks = len(c.weeklyCPU)
@@ -533,8 +641,9 @@ func (c *Campaign) finishReport(done bool, doneWeek float64) {
 	}
 
 	// Points accounting over the host fleet (§8): each device's benchmark
-	// score is the reference score divided by its hardware factor.
-	ledger := credit.NewLedger()
+	// score is the reference score divided by its hardware factor. The
+	// ledger's dense slices are reused across pooled runs.
+	ledger := c.ledger
 	for _, h := range c.pop.Hosts() {
 		ledger.Register(credit.Device{
 			ID:       h.ID,
@@ -552,4 +661,14 @@ func (c *Campaign) finishReport(done bool, doneWeek float64) {
 	if trend, _, ok := ledger.PowerTrend(); ok {
 		r.HardwareTrend = trend
 	}
+}
+
+// resetSeries empties s for reuse, creating it on a campaign's first run.
+func resetSeries(s *stats.Series, name string) *stats.Series {
+	if s == nil {
+		return stats.NewSeries(name)
+	}
+	s.Reset()
+	s.Name = name
+	return s
 }

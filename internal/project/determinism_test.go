@@ -3,6 +3,7 @@ package project
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 
 	"repro/internal/costmodel"
@@ -34,5 +35,80 @@ func TestCampaignByteDeterminism(t *testing.T) {
 	second := render()
 	if !bytes.Equal(first, second) {
 		t.Fatalf("same seed produced different reports:\nfirst:  %.200s…\nsecond: %.200s…", first, second)
+	}
+}
+
+// determinismConfig is the configuration the byte-determinism tests run.
+func determinismConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	ds := protein.Generate(10, 51)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 52})
+	cfg := DefaultConfig(ds, m)
+	cfg.WorkScale = 0.3
+	cfg.HostScale = 0.002
+	cfg.Seed = seed
+	return cfg
+}
+
+func renderReport(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	rep.Config = Config{}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunnerReuseByteIdentical extends the byte-determinism regression to
+// the pooled path: a campaign run on a Runner whose arenas are dirty from
+// previous (differently configured) runs must produce a report
+// byte-identical to a fresh New(cfg).Run().
+func TestRunnerReuseByteIdentical(t *testing.T) {
+	cfg := determinismConfig(t, 777)
+	fresh := renderReport(t, New(cfg).Run())
+
+	runner := NewRunner()
+	// Dirty every arena with two runs under different seeds and policies.
+	other := determinismConfig(t, 4242)
+	other.Order = CostliestFirst
+	other.Server.InitialQuorum = 1
+	other.Server.SteadyQuorum = 1
+	runner.Run(other)
+	runner.Run(determinismConfig(t, 31))
+	// The reused report's buffers are owned by the runner: marshal before
+	// any further Run.
+	reused := renderReport(t, runner.Run(cfg))
+	if !bytes.Equal(fresh, reused) {
+		t.Fatalf("pooled run diverged from fresh run:\nfresh:  %.300s…\nreused: %.300s…", fresh, reused)
+	}
+	// And the pooled state is not sticky: a different seed still differs.
+	if probe := renderReport(t, runner.Run(determinismConfig(t, 778))); bytes.Equal(fresh, probe) {
+		t.Fatal("different seed produced an identical report; runner replaying stale state")
+	}
+}
+
+// TestRunnerSteadyStateAllocs asserts the reuse payoff: once a Runner's
+// arenas are built, a replication allocates a small fraction of the first
+// run's bytes. (The sweep-scale benchmark BenchmarkSweepCell demonstrates
+// <10 %; this tiny campaign carries proportionally more fixed per-run
+// report overhead, so the test gate is looser.)
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	cfg := determinismConfig(t, 99)
+	runner := NewRunner()
+	measure := func() uint64 {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		if rep := runner.Run(cfg); !rep.Completed {
+			t.Fatal("campaign did not complete")
+		}
+		runtime.ReadMemStats(&ms1)
+		return ms1.TotalAlloc - ms0.TotalAlloc
+	}
+	first := measure()
+	measure() // warm: second run may still grow a few buffers
+	steady := measure()
+	if steady*4 > first {
+		t.Fatalf("steady-state replication allocated %d bytes, over 25%% of the first run's %d", steady, first)
 	}
 }

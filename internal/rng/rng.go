@@ -22,20 +22,26 @@ type Source struct {
 // Distinct seeds yield statistically independent streams.
 func New(seed uint64) *Source {
 	var src Source
+	NewInto(&src, seed)
+	return &src
+}
+
+// NewInto seeds dst in place, exactly as New(seed) would — the
+// allocation-free path for pooled objects that embed their Source by value.
+func NewInto(dst *Source, seed uint64) {
 	sm := seed
-	for i := range src.s {
+	for i := range dst.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		dst.s[i] = z ^ (z >> 31)
 	}
 	// xoshiro must not be seeded with all zeros; SplitMix64 cannot produce
 	// four consecutive zeros, but guard anyway for safety.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // Split derives an independent child stream from the source. It consumes

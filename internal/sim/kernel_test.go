@@ -198,6 +198,70 @@ func TestTickerDoesNotAllocatePerTick(t *testing.T) {
 	}
 }
 
+func TestResetIndistinguishableFromFresh(t *testing.T) {
+	// A reset engine must replay a schedule exactly like a fresh one:
+	// same clock, same FIFO tie-breaks, same counters.
+	run := func(e *Engine) (order []int, executed uint64, maxPending int) {
+		e.At(5, func() { order = append(order, 0) })
+		e.Schedule(5, func() { order = append(order, 1) })
+		ev := e.At(3, func() { order = append(order, 2) })
+		e.Cancel(ev)
+		e.ScheduleAfter(5, func() { order = append(order, 3) })
+		e.Run()
+		return order, e.Executed(), e.MaxPending()
+	}
+	fresh := NewEngine()
+	o1, x1, m1 := run(fresh)
+
+	reused := NewEngine()
+	for i := 0; i < 1000; i++ { // dirty the heap, free list and arena
+		reused.Schedule(float64(i), func() {})
+	}
+	reused.Every(0, 7, func(Time) {})
+	reused.RunUntil(500)
+	reused.Reset()
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Executed() != 0 || reused.MaxPending() != 0 {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d executed=%d max=%d",
+			reused.Now(), reused.Pending(), reused.Executed(), reused.MaxPending())
+	}
+	o2, x2, m2 := run(reused)
+	if len(o1) != len(o2) {
+		t.Fatalf("orders differ: %v vs %v", o1, o2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("orders differ: %v vs %v", o1, o2)
+		}
+	}
+	if x1 != x2 || m1 != m2 {
+		t.Fatalf("counters differ: executed %d vs %d, max pending %d vs %d", x1, x2, m1, m2)
+	}
+}
+
+func TestResetRetainsStorage(t *testing.T) {
+	// The steady state of a run-reset-run loop must not allocate events:
+	// the second run re-carves the first run's arena.
+	e := NewEngine()
+	const n = 3 * 1024
+	run := func() {
+		for i := 0; i < n; i++ {
+			e.Schedule(float64(i), func() {})
+		}
+		e.Run()
+	}
+	run()
+	e.Reset()
+	allocs := testing.AllocsPerRun(1, func() {
+		run()
+		e.Reset()
+	})
+	// The heap array and arena are retained; only closure-free scheduling
+	// remains, so per-event allocations must be gone entirely.
+	if allocs > float64(n)/100 {
+		t.Fatalf("reused run made %v allocations for %d events", allocs, n)
+	}
+}
+
 func BenchmarkScheduleRecycled(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}

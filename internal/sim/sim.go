@@ -20,6 +20,18 @@
 //     state simulation allocates no per-event memory. At/After still return
 //     a handle and therefore allocate; handles are never recycled, so a
 //     stale handle can never cancel an unrelated reused event.
+//
+// # Reset contract
+//
+// Engine.Reset rearms an engine for another run while retaining the
+// backing storage a run is expensive to rebuild: the heap array, the
+// free list's backing array, and the event arena's chunks. Everything
+// observable is zeroed — clock, schedule, executed/pending counters, the
+// FIFO tie-break sequence — so a reset engine is indistinguishable from a
+// fresh one to the model running on it. Event handles returned by
+// At/After before the Reset are invalidated: their structs are zeroed and
+// re-carved, and passing one to Cancel afterwards corrupts an unrelated
+// event. Callers must drop every handle before resetting.
 package sim
 
 import (
@@ -159,13 +171,29 @@ type Engine struct {
 	tombstones int // cancelled events still sitting in the heap
 	maxLive    int // high-water mark of live
 
-	free []*Event // recycled no-handle events
-	slab []Event  // bump allocator backing new events
+	free []*Event          // recycled no-handle events
+	slab slab.Arena[Event] // bump allocator backing new events
 }
 
 // NewEngine returns an engine with the clock at 0 and an empty event list.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset rearms the engine for another run: clock back to 0, schedule
+// empty, all counters zeroed. The heap array, free-list array and event
+// arena are retained, so a reset engine schedules without allocating.
+// See the package-level Reset contract: all outstanding event handles are
+// invalidated.
+func (e *Engine) Reset() {
+	clear(e.queue)
+	e.queue = e.queue[:0]
+	clear(e.free)
+	e.free = e.free[:0]
+	e.slab.Reset()
+	e.now = 0
+	e.seq, e.nEvent = 0, 0
+	e.live, e.tombstones, e.maxLive = 0, 0, 0
 }
 
 // Now returns the current simulation time.
@@ -193,7 +221,7 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return slab.Carve(&e.slab)
+	return e.slab.Alloc()
 }
 
 // release returns a popped event to the free list if it is recyclable.

@@ -1,15 +1,25 @@
 // Package slab provides chunked bump allocation for simulation objects
 // that are created by the million: instead of one heap allocation per
-// object, objects are carved from fixed-size chunks. A chunk is collected
-// as soon as every object in it is unreachable, so memory is still
-// reclaimed progressively over a run.
+// object, objects are carved from fixed-size chunks.
+//
+// The Arena is built for run reuse: Reset rewinds the allocation cursor
+// and zeroes the used objects, so the next run carves the same chunks
+// again without touching the heap. A pooled run context (one arena per
+// object kind per worker) therefore pays the chunk allocations once, on
+// its first run, and nearly nothing afterwards. The price is that an
+// arena pins every chunk it has ever grown until the arena itself becomes
+// unreachable — acceptable for per-worker pools whose runs are all the
+// same scale, which is exactly the sweep workload.
 package slab
 
 // Chunk is the number of objects carved from one allocation.
 const Chunk = 512
 
 // Carve returns the next zeroed object from the slab, starting a fresh
-// chunk when the current one is exhausted.
+// chunk when the current one is exhausted. Unlike the Arena, a carved-past
+// chunk is collected as soon as every object in it is unreachable, so a
+// one-shot run's memory is reclaimed progressively — the right allocator
+// when the run context is not going to be reused.
 func Carve[T any](slab *[]T) *T {
 	if len(*slab) == 0 {
 		*slab = make([]T, Chunk)
@@ -17,4 +27,46 @@ func Carve[T any](slab *[]T) *T {
 	v := &(*slab)[0]
 	*slab = (*slab)[1:]
 	return v
+}
+
+// Arena is a chunked bump allocator whose memory survives Reset.
+// The zero value is ready to use.
+type Arena[T any] struct {
+	chunks [][]T
+	ci     int // chunk currently being carved
+	off    int // next free slot in chunks[ci]
+}
+
+// Alloc returns the next zeroed object, growing the arena by one chunk
+// when the current one is exhausted.
+func (a *Arena[T]) Alloc() *T {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, Chunk))
+	}
+	v := &a.chunks[a.ci][a.off]
+	a.off++
+	if a.off == Chunk {
+		a.ci++
+		a.off = 0
+	}
+	return v
+}
+
+// Allocated returns the number of objects carved since the last Reset.
+func (a *Arena[T]) Allocated() int {
+	return a.ci*Chunk + a.off
+}
+
+// Reset rewinds the arena for reuse: every previously carved object is
+// zeroed and its slot will be handed out again. All pointers obtained from
+// Alloc before the Reset must be dead — using one afterwards reads (and
+// corrupts) whatever object is carved into that slot next.
+func (a *Arena[T]) Reset() {
+	for i := 0; i < a.ci; i++ {
+		clear(a.chunks[i])
+	}
+	if a.ci < len(a.chunks) {
+		clear(a.chunks[a.ci][:a.off])
+	}
+	a.ci, a.off = 0, 0
 }

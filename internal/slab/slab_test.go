@@ -1,0 +1,66 @@
+package slab
+
+import "testing"
+
+func TestArenaAllocZeroed(t *testing.T) {
+	var a Arena[int]
+	for i := 0; i < 3*Chunk; i++ {
+		p := a.Alloc()
+		if *p != 0 {
+			t.Fatalf("alloc %d not zeroed: %d", i, *p)
+		}
+		*p = i + 1
+	}
+	if got := a.Allocated(); got != 3*Chunk {
+		t.Fatalf("Allocated = %d, want %d", got, 3*Chunk)
+	}
+}
+
+func TestArenaDistinctPointers(t *testing.T) {
+	var a Arena[int]
+	seen := make(map[*int]bool)
+	for i := 0; i < 2*Chunk+7; i++ {
+		p := a.Alloc()
+		if seen[p] {
+			t.Fatalf("alloc %d returned a live slot twice", i)
+		}
+		seen[p] = true
+	}
+}
+
+func TestArenaResetReusesAndZeroes(t *testing.T) {
+	var a Arena[int]
+	first := make([]*int, 2*Chunk+5)
+	for i := range first {
+		first[i] = a.Alloc()
+		*first[i] = 42
+	}
+	a.Reset()
+	if got := a.Allocated(); got != 0 {
+		t.Fatalf("Allocated after Reset = %d", got)
+	}
+	nChunks := len(a.chunks)
+	for i := range first {
+		p := a.Alloc()
+		if p != first[i] {
+			t.Fatalf("alloc %d after Reset did not reuse the original slot", i)
+		}
+		if *p != 0 {
+			t.Fatalf("alloc %d after Reset not zeroed: %d", i, *p)
+		}
+	}
+	if len(a.chunks) != nChunks {
+		t.Fatalf("arena grew on reuse: %d chunks, had %d", len(a.chunks), nChunks)
+	}
+}
+
+func BenchmarkArenaSteadyState(b *testing.B) {
+	var a Arena[[4]uint64]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < Chunk; j++ {
+			a.Alloc()
+		}
+		a.Reset()
+	}
+}

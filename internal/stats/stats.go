@@ -50,9 +50,23 @@ func Summarize(vals []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of vals using linear
-// interpolation between order statistics. The input is not modified.
+// interpolation between order statistics. The input is not modified (it is
+// copied and sorted; callers that already hold a sorted sample should use
+// QuantileSorted, which does not allocate).
 func Quantile(vals []float64, q float64) float64 {
 	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted returns the q-quantile of an ascending-sorted sample
+// without copying or allocating.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -61,9 +75,6 @@ func Quantile(vals []float64, q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(vals))
-	copy(sorted, vals)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
@@ -184,6 +195,14 @@ func NewHistogram(lo, hi float64, nbins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins)}
 }
 
+// Reset empties the histogram for reuse, keeping the bin buffer: the
+// preallocated-accumulator path for pooled run contexts that record the
+// same distribution run after run.
+func (h *Histogram) Reset() {
+	clear(h.Bins)
+	h.Under, h.Over, h.total = 0, 0, 0
+}
+
 // Add records one observation.
 func (h *Histogram) Add(v float64) {
 	h.total++
@@ -297,6 +316,12 @@ func NewSeries(name string) *Series { return &Series{Name: name} }
 func (s *Series) Add(x, y float64) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
+}
+
+// Reset empties the series for reuse, keeping the backing arrays.
+func (s *Series) Reset() {
+	s.X = s.X[:0]
+	s.Y = s.Y[:0]
 }
 
 // Len returns the number of points.

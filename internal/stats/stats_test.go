@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -330,5 +331,70 @@ func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
 func TestKolmogorovSmirnovEmpty(t *testing.T) {
 	if !math.IsNaN(KolmogorovSmirnov(nil, []float64{1})) {
 		t.Fatal("empty sample should give NaN")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 3, 7, 42} {
+		h.Add(v)
+	}
+	bins := &h.Bins[0]
+	h.Reset()
+	if h.Total() != 0 || h.Under != 0 || h.Over != 0 {
+		t.Fatalf("reset histogram kept counts: %+v", h)
+	}
+	for i, c := range h.Bins {
+		if c != 0 {
+			t.Fatalf("bin %d not zeroed: %d", i, c)
+		}
+	}
+	if &h.Bins[0] != bins {
+		t.Fatal("reset reallocated the bin buffer")
+	}
+	h.Add(3)
+	if h.Total() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	c := cap(s.X)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("reset series has %d points", s.Len())
+	}
+	if cap(s.X) != c {
+		t.Fatal("reset dropped the backing array")
+	}
+	s.Add(1, 2)
+	if s.Len() != 1 || s.YMean() != 2 {
+		t.Fatal("series unusable after reset")
+	}
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	r := rng.New(9)
+	vals := make([]float64, 501)
+	for i := range vals {
+		vals[i] = r.Normal(10, 4)
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.9, 1, 2} {
+		if a, b := Quantile(vals, q), QuantileSorted(sorted, q); a != b {
+			t.Fatalf("q=%v: Quantile %v != QuantileSorted %v", q, a, b)
+		}
+	}
+	if !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Fatal("empty sorted sample should give NaN")
+	}
+	if n := testing.AllocsPerRun(10, func() { QuantileSorted(sorted, 0.5) }); n != 0 {
+		t.Fatalf("QuantileSorted allocated %v times", n)
 	}
 }

@@ -17,6 +17,18 @@
 // from a calibrated distribution whose mean is the paper's 3.96. Hosts also
 // abandon work (producing timeouts and late results) and occasionally
 // return invalid results, which drives the server's redundancy factor.
+//
+// # Reset contract
+//
+// Population.Reset rearms a population for another run on the same
+// (freshly reset) engine and server. The Host structs of the previous run
+// are retained in a pool and reinitialized in place as the new run spawns
+// hosts — same struct, same bound method values, freshly sampled
+// behaviour — so the steady state of a pooled run context allocates no
+// per-host memory. Everything observable (active count, join counter,
+// per-host state) is reinitialized exactly as a fresh NewPopulation +
+// NewHost sequence would produce; *Host pointers obtained before the
+// Reset alias the recycled structs and must be dropped.
 package volunteer
 
 import (
@@ -127,7 +139,7 @@ type Host struct {
 	cfg    HostConfig
 	engine *sim.Engine
 	server *wcg.Server
-	r      *rng.Source
+	src    rng.Source // by value: a pooled host reseeds in place, no allocation
 
 	stopped  bool    // told to stop after the current task
 	busy     bool    // currently computing
@@ -151,8 +163,25 @@ type Host struct {
 }
 
 // NewHost creates a host with behaviour sampled from cfg. It does not start
-// requesting work until Start is called.
+// requesting work until Start is called. The host copies r's state and
+// draws from its own embedded stream from then on; the caller must not
+// keep drawing from r on the host's behalf.
 func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *rng.Source) *Host {
+	h := &Host{src: *r}
+	h.requestFn = h.requestWork
+	h.taskDoneFn = h.taskDone
+	h.init(id, engine, server, cfg)
+	return h
+}
+
+// init (re)initializes a host struct whose src stream has already been
+// seeded: the construction path shared by NewHost and the population's
+// host pool. It samples behaviour exactly as a fresh host would and zeroes
+// all run state, so a recycled struct is indistinguishable from a new one.
+// The requestFn/taskDoneFn method values are bound once per struct (in
+// NewHost or Population spawn) and stay valid across reinitializations —
+// they close over the receiver pointer, which does not change.
+func (h *Host) init(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig) {
 	if cfg.MeanSpeedDown <= 0 {
 		panic("volunteer: mean speed-down must be positive")
 	}
@@ -164,7 +193,7 @@ func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *
 	// harmonic mean exp(mu - sigma²/2); solve mu so that equals
 	// cfg.MeanSpeedDown.
 	mu := math.Log(cfg.MeanSpeedDown) + sigma*sigma/2
-	sd := r.LogNormal(mu, sigma)
+	sd := h.src.LogNormal(mu, sigma)
 	// Devices joining later are faster (grid turnover, §5.1).
 	if cfg.HardwareTrendPerWeek > 0 {
 		weeks := engine.Now() / sim.Week
@@ -177,19 +206,23 @@ func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *
 	if hw < 1 {
 		hw = 1
 	}
-	h := &Host{
-		ID:        id,
-		JoinedAt:  engine.Now(),
-		SpeedDown: sd,
-		Hardware:  hw,
-		cfg:       cfg,
-		engine:    engine,
-		server:    server,
-		r:         r,
-	}
-	h.requestFn = h.requestWork
-	h.taskDoneFn = h.taskDone
-	return h
+	h.ID = id
+	h.JoinedAt = engine.Now()
+	h.SpeedDown = sd
+	h.Hardware = hw
+	h.cfg = cfg
+	h.engine = engine
+	h.server = server
+	h.stopped = false
+	h.busy = false
+	h.Done = 0
+	h.CPUSpent = 0
+	clear(h.cache)
+	h.cache = h.cache[:0]
+	h.cacheHead = 0
+	h.cur = nil
+	h.curOutcome = 0
+	h.curReported = 0
 }
 
 // Start begins the fetch-compute-report loop.
@@ -250,12 +283,12 @@ func (h *Host) requestWork() {
 		reported = a.WU.WU.RefSeconds * h.Hardware
 	}
 
-	if h.r.Bernoulli(h.cfg.AbandonProb) {
+	if h.src.Bernoulli(h.cfg.AbandonProb) {
 		// The volunteer kills or shelves the task: the deadline passes on
 		// the server side. With some probability the device reconnects
 		// much later and the (by then redundant) result is still counted.
-		if h.r.Bernoulli(h.cfg.LateReturnProb) {
-			delay := h.serverDeadline() + h.r.Float64()*h.cfg.LateDelayMax
+		if h.src.Bernoulli(h.cfg.LateReturnProb) {
+			delay := h.serverDeadline() + h.src.Float64()*h.cfg.LateDelayMax
 			h.engine.ScheduleAfter(delay, func() {
 				h.CPUSpent += reported
 				h.server.Complete(a, wcg.OutcomeValid, reported)
@@ -271,7 +304,7 @@ func (h *Host) requestWork() {
 	h.cur = a
 	h.curReported = reported
 	h.curOutcome = wcg.OutcomeValid
-	if h.r.Bernoulli(h.cfg.ErrorProb) {
+	if h.src.Bernoulli(h.cfg.ErrorProb) {
 		h.curOutcome = wcg.OutcomeInvalid
 	}
 	h.engine.ScheduleAfter(wall, h.taskDoneFn)

@@ -21,11 +21,52 @@ type Population struct {
 	active      int // hosts not stopped
 	nextID      int
 	firstActive int // hosts[:firstActive] are all stopped (stop-oldest cursor)
+
+	// Host-struct pool: the previous run's hosts, reinitialized in place as
+	// this run spawns. See the package-level Reset contract.
+	pool     []*Host
+	poolNext int
 }
 
 // NewPopulation creates an empty population.
 func NewPopulation(engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *rng.Source) *Population {
 	return &Population{engine: engine, server: server, cfg: cfg, r: r}
+}
+
+// Reset rearms the population for another run on the same (freshly reset)
+// engine and server: zero hosts joined, a new host configuration and seed
+// stream. The previous run's Host structs become the reuse pool.
+func (p *Population) Reset(cfg HostConfig, r *rng.Source) {
+	p.cfg = cfg
+	p.r = r
+	// Swap the slices: last run's hosts are this run's pool, and the old
+	// pool's backing array (same capacity ballpark) collects the new list.
+	p.hosts, p.pool = p.pool[:0], p.hosts
+	p.poolNext = 0
+	p.active, p.nextID, p.firstActive = 0, 0, 0
+}
+
+// spawn creates (or recycles) one host seeded from the population stream.
+// The seed derivation matches what NewHost(..., p.r.Split()) produced
+// before pooling existed, so populations are bit-for-bit reproducible.
+func (p *Population) spawn() *Host {
+	seed := p.r.Uint64()
+	var h *Host
+	if p.poolNext < len(p.pool) {
+		h = p.pool[p.poolNext]
+		p.pool[p.poolNext] = nil
+		p.poolNext++
+	} else {
+		h = &Host{}
+		h.requestFn = h.requestWork
+		h.taskDoneFn = h.taskDone
+	}
+	rng.NewInto(&h.src, seed)
+	h.init(p.nextID, p.engine, p.server, p.cfg)
+	p.nextID++
+	p.hosts = append(p.hosts, h)
+	p.active++
+	return h
 }
 
 // Active returns the number of hosts currently attached (not stopped).
@@ -46,11 +87,7 @@ func (p *Population) SetTarget(n int) {
 		n = 0
 	}
 	for p.active < n {
-		h := NewHost(p.nextID, p.engine, p.server, p.cfg, p.r.Split())
-		p.nextID++
-		p.hosts = append(p.hosts, h)
-		p.active++
-		h.Start()
+		p.spawn().Start()
 	}
 	if p.active > n {
 		// Stop the oldest active hosts first (device turnover). The cursor

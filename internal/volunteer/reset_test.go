@@ -1,0 +1,108 @@
+package volunteer
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wcg"
+	"repro/internal/workunit"
+)
+
+// drive grows, works and shrinks a population on the given stack,
+// returning the fingerprint a reused stack must reproduce exactly.
+func drive(engine *sim.Engine, srv *wcg.Server, pop *Population) (completed int64, cpu float64, joined int, mean float64) {
+	for i := 0; i < 5000; i++ {
+		srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 10, RefSeconds: 3600}, 0)
+	}
+	pop.SetTarget(40)
+	engine.RunUntil(2 * sim.Week)
+	pop.SetTarget(10)
+	engine.RunUntil(3 * sim.Week)
+	pop.SetTarget(60)
+	engine.RunUntil(5 * sim.Week)
+	return srv.Stats.Completed, srv.Stats.CPUSeconds, pop.TotalJoined(), pop.MeanSpeedDown()
+}
+
+func testStack(seed uint64) (*sim.Engine, *wcg.Server, *Population) {
+	engine := sim.NewEngine()
+	srv := wcg.NewServer(engine, wcg.Config{InitialQuorum: 1, SteadyQuorum: 1, Deadline: 12 * sim.Day})
+	pop := NewPopulation(engine, srv, DefaultHostConfig(), rng.New(seed))
+	return engine, srv, pop
+}
+
+func TestPopulationResetMatchesFresh(t *testing.T) {
+	fe, fs, fp := testStack(123)
+	wantC, wantCPU, wantJ, wantM := drive(fe, fs, fp)
+
+	// Dirty a stack with a different seed, reset every layer, rerun with
+	// the fresh stack's seed: the outcome must be bit-for-bit identical.
+	engine, srv, pop := testStack(999)
+	drive(engine, srv, pop)
+	engine.Reset()
+	srv.Reset(wcg.Config{InitialQuorum: 1, SteadyQuorum: 1, Deadline: 12 * sim.Day})
+	pop.Reset(DefaultHostConfig(), rng.New(123))
+	if pop.Active() != 0 || pop.TotalJoined() != 0 || pop.MeanSpeedDown() != 0 {
+		t.Fatalf("reset population not empty: active=%d joined=%d", pop.Active(), pop.TotalJoined())
+	}
+	gotC, gotCPU, gotJ, gotM := drive(engine, srv, pop)
+	if gotC != wantC || gotCPU != wantCPU || gotJ != wantJ || gotM != wantM {
+		t.Fatalf("reused stack diverged: completed %d/%d cpu %v/%v joined %d/%d mean %v/%v",
+			gotC, wantC, gotCPU, wantCPU, gotJ, wantJ, gotM, wantM)
+	}
+}
+
+func TestPopulationResetReusesHostStructs(t *testing.T) {
+	engine, srv, pop := testStack(7)
+	for i := 0; i < 100000; i++ {
+		srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 10, RefSeconds: 3600}, 0)
+	}
+	pop.SetTarget(50)
+	firstRun := append([]*Host(nil), pop.Hosts()...)
+	engine.RunUntil(2 * sim.Week)
+
+	engine.Reset()
+	srv.Reset(wcg.Config{InitialQuorum: 1, SteadyQuorum: 1, Deadline: 12 * sim.Day})
+	pop.Reset(DefaultHostConfig(), rng.New(8))
+	for i := 0; i < 100000; i++ {
+		srv.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 10, RefSeconds: 3600}, 0)
+	}
+	pop.SetTarget(50)
+	reused := 0
+	for i, h := range pop.Hosts() {
+		if h == firstRun[i] {
+			reused++
+		}
+		if h.Done != 0 || h.CPUSpent != 0 || h.Stopped() {
+			t.Fatalf("host %d kept state across Reset: %+v", i, h)
+		}
+		if h.ID != i {
+			t.Fatalf("host %d has ID %d", i, h.ID)
+		}
+	}
+	if reused != 50 {
+		t.Fatalf("reused %d of 50 host structs", reused)
+	}
+	// The recycled fleet must still work.
+	engine.RunUntil(2 * sim.Week)
+	if srv.Stats.Completed == 0 {
+		t.Fatal("recycled hosts completed nothing")
+	}
+}
+
+func TestPopulationSpawnSeedMatchesSplit(t *testing.T) {
+	// The pooled spawn path seeds host streams in place from p.r.Uint64();
+	// the pre-pooling code passed p.r.Split() to NewHost. Both must sample
+	// identical hosts.
+	engine, srv, pop := testStack(31)
+	pop.SetTarget(20)
+
+	r2 := rng.New(31)
+	for i, h := range pop.Hosts() {
+		want := NewHost(i, engine, srv, DefaultHostConfig(), r2.Split())
+		if h.SpeedDown != want.SpeedDown || h.Hardware != want.Hardware {
+			t.Fatalf("host %d sampled differently: pooled (%v,%v) vs split (%v,%v)",
+				i, h.SpeedDown, h.Hardware, want.SpeedDown, want.Hardware)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package wcg
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workunit"
+)
+
+// driveServer exercises every middleware mechanism against a scripted
+// sequence: issue, return, timeout, reissue, quorum switch.
+func driveServer(t *testing.T, engine *sim.Engine, s *Server) Stats {
+	t.Helper()
+	cfgDeadline := s.Deadline()
+	for i := 0; i < 50; i++ {
+		s.AddWorkunit(workunit.Workunit{ID: int64(i), ISepLo: 1, ISepHi: 10, RefSeconds: 100}, 0)
+	}
+	var held []*Assignment
+	for i := 0; i < 30; i++ {
+		if a := s.RequestWork(); a != nil {
+			held = append(held, a)
+		}
+	}
+	// Return half on time, abandon the rest (they time out and reissue).
+	for i, a := range held {
+		if i%2 == 0 {
+			s.Complete(a, OutcomeValid, 500)
+		}
+	}
+	engine.RunUntil(cfgDeadline + sim.Day)
+	// Past the quorum switch: drain everything that is left.
+	engine.RunUntil(15 * sim.Week)
+	for {
+		a := s.RequestWork()
+		if a == nil {
+			break
+		}
+		s.Complete(a, OutcomeValid, 400)
+	}
+	engine.RunUntil(30 * sim.Week)
+	return s.Stats
+}
+
+func TestServerResetIndistinguishableFromFresh(t *testing.T) {
+	cfg := DefaultConfig()
+
+	freshEngine := sim.NewEngine()
+	fresh := NewServer(freshEngine, cfg)
+	want := driveServer(t, freshEngine, fresh)
+
+	engine := sim.NewEngine()
+	s := NewServer(engine, cfg)
+	driveServer(t, engine, s) // dirty queue, ring and arenas
+	engine.Reset()
+	s.Reset(cfg)
+	if s.PendingCount() != 0 || s.HasWork() {
+		t.Fatalf("reset server not empty: pending=%d hasWork=%v", s.PendingCount(), s.HasWork())
+	}
+	if s.Stats != (Stats{}) {
+		t.Fatalf("reset server kept stats: %+v", s.Stats)
+	}
+	got := driveServer(t, engine, s)
+	if got != want {
+		t.Fatalf("reused server diverged:\nfresh:  %+v\nreused: %+v", want, got)
+	}
+}
+
+func TestServerResetSwitchesConfig(t *testing.T) {
+	engine := sim.NewEngine()
+	s := NewServer(engine, DefaultConfig())
+	driveServer(t, engine, s)
+	engine.Reset()
+	// Re-arm under a different policy: quorum 1 from the start.
+	s.Reset(Config{InitialQuorum: 1, SteadyQuorum: 1, Deadline: 4 * sim.Day})
+	if s.Deadline() != 4*sim.Day {
+		t.Fatalf("deadline = %v", s.Deadline())
+	}
+	s.AddWorkunit(workunit.Workunit{ID: 1, ISepLo: 1, ISepHi: 10, RefSeconds: 100}, 0)
+	a := s.RequestWork()
+	if a == nil {
+		t.Fatal("no work after reset")
+	}
+	s.Complete(a, OutcomeValid, 100)
+	if s.Stats.Completed != 1 {
+		t.Fatalf("quorum-1 workunit not completed after one result: %+v", s.Stats)
+	}
+}
+
+func TestServerResetPanicsOnBadConfig(t *testing.T) {
+	engine := sim.NewEngine()
+	s := NewServer(engine, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero-deadline reset")
+		}
+	}()
+	s.Reset(Config{InitialQuorum: 1, SteadyQuorum: 1})
+}

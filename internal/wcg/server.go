@@ -33,6 +33,17 @@
 //     event-heap inserts and cancellations. Each timeout still fires at
 //     exactly IssuedAt+Deadline; copies returned in time simply fall out of
 //     the ring unprocessed.
+//
+// # Reset contract
+//
+// Server.Reset rearms a server for another run on the same (freshly
+// reset) engine, retaining what a campaign is expensive to rebuild: the
+// workunit FIFO's backing array, the deadline ring, and the WUState and
+// Assignment arenas. Everything observable is zeroed — queue contents,
+// counters, Stats, the OnComplete/OnWeekCPU callbacks — so a reset server
+// is indistinguishable from NewServer to the model driving it. Every
+// *WUState and *Assignment obtained before the Reset is invalidated (the
+// arenas re-carve their slots); callers must drop them all first.
 package wcg
 
 import (
@@ -168,11 +179,19 @@ type Server struct {
 	drainFn func() // bound once; re-armed without allocating a closure
 
 	// Bump allocators: workunit states and assignments are carved from
-	// chunks instead of allocated one by one (millions per campaign). A
-	// chunk is collected once every object in it is unreachable, so memory
-	// is still reclaimed as the campaign progresses.
-	wuSlab []WUState
-	asSlab []Assignment
+	// chunks instead of allocated one by one (millions per campaign). Two
+	// modes, switched by retain:
+	//
+	//   - one-shot (default): progressive slabs whose carved-past chunks
+	//     are collected as soon as their objects are unreachable, so a
+	//     single run's memory is reclaimed as the campaign progresses;
+	//   - retained (Retain/Reset): arenas that survive Reset, so a pooled
+	//     server re-carves the same chunks run after run.
+	retain  bool
+	wuChunk []WUState
+	asChunk []Assignment
+	wuArena slab.Arena[WUState]
+	asArena slab.Arena[Assignment]
 
 	Stats Stats
 
@@ -188,12 +207,7 @@ type Server struct {
 
 // NewServer creates a server bound to the simulation engine.
 func NewServer(engine *sim.Engine, cfg Config) *Server {
-	if cfg.InitialQuorum < 1 || cfg.SteadyQuorum < 1 {
-		panic("wcg: quorum must be at least 1")
-	}
-	if cfg.Deadline <= 0 {
-		panic("wcg: deadline must be positive")
-	}
+	checkConfig(cfg)
 	s := &Server{
 		cfg:    cfg,
 		engine: engine,
@@ -201,6 +215,64 @@ func NewServer(engine *sim.Engine, cfg Config) *Server {
 	s.qCache = s.quorum()
 	s.drainFn = s.drainDeadlines
 	return s
+}
+
+func checkConfig(cfg Config) {
+	if cfg.InitialQuorum < 1 || cfg.SteadyQuorum < 1 {
+		panic("wcg: quorum must be at least 1")
+	}
+	if cfg.Deadline <= 0 {
+		panic("wcg: deadline must be positive")
+	}
+}
+
+// Retain switches the server to retained (arena) allocation: object
+// chunks survive Reset and are re-carved by the next run. Pooled run
+// contexts call it right after NewServer, before the first workunit is
+// added, so the first run's chunks already land in the reusable arena.
+func (s *Server) Retain() { s.retain = true }
+
+// allocWU carves one WUState from the allocator in force.
+func (s *Server) allocWU() *WUState {
+	if s.retain {
+		return s.wuArena.Alloc()
+	}
+	return slab.Carve(&s.wuChunk)
+}
+
+// allocAssignment carves one Assignment from the allocator in force.
+func (s *Server) allocAssignment() *Assignment {
+	if s.retain {
+		return s.asArena.Alloc()
+	}
+	return slab.Carve(&s.asChunk)
+}
+
+// Reset rearms the server for another run under a (possibly different)
+// configuration, switching it to retained allocation (see Retain). The
+// engine must have been Reset first: the quorum cache is recomputed
+// against the engine's current clock. Backing storage — queue array,
+// deadline ring, WUState/Assignment arenas — is retained; see the
+// package-level Reset contract.
+func (s *Server) Reset(cfg Config) {
+	checkConfig(cfg)
+	s.cfg = cfg
+	s.retain = true
+	s.wuChunk, s.asChunk = nil, nil
+	clear(s.queue)
+	s.queue = s.queue[:0]
+	s.qHead = 0
+	s.nQueuedLive, s.nNeedy = 0, 0
+	s.qCache = s.quorum()
+	clear(s.dlq)
+	s.dlq = s.dlq[:0]
+	s.dlHead = 0
+	s.dlArmed = false
+	s.wuArena.Reset()
+	s.asArena.Reset()
+	s.Stats = Stats{}
+	s.OnComplete = nil
+	s.OnWeekCPU = nil
 }
 
 // Deadline returns the server's reissue deadline: how long a copy may stay
@@ -261,7 +333,7 @@ func (s *Server) syncCounts(st *WUState) {
 // AddWorkunit registers a distinct workunit for distribution.
 func (s *Server) AddWorkunit(wu workunit.Workunit, batch int) *WUState {
 	s.refreshQuorum()
-	st := slab.Carve(&s.wuSlab)
+	st := s.allocWU()
 	st.WU = wu
 	st.Batch = batch
 	s.enqueue(st)
@@ -358,7 +430,7 @@ func (s *Server) RequestWork() *Assignment {
 			s.syncCounts(st)
 		}
 		s.Stats.Sent++
-		a := slab.Carve(&s.asSlab)
+		a := s.allocAssignment()
 		a.WU = st
 		a.IssuedAt = s.engine.Now()
 		s.dlq = append(s.dlq, a)
