@@ -1,20 +1,26 @@
 // Command benchgate is the CI allocation-regression gate: it compares a
 // freshly measured benchmark file against the checked-in
 // BENCH_campaign.json baseline and exits non-zero when allocs/op grew
-// beyond the allowed margin. Allocations are deterministic for a
-// deterministic simulation, so the gate is machine-independent — unlike
-// ns/op, which is deliberately not gated.
+// beyond the allowed margin for any gated benchmark. Allocations are
+// deterministic for a deterministic simulation, so the gate is
+// machine-independent — unlike ns/op, which is deliberately not gated.
+//
+// Two benchmarks are gated by default: BenchmarkCampaignCI (the fresh
+// one-shot campaign) and BenchmarkSweepCell (the pooled steady-state
+// replication, which is where arena-reuse regressions hide).
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_campaign.json -current BENCH_ci.json \
-//	          [-bench BenchmarkCampaignCI] [-max-alloc-growth 0.10]
+//	          [-bench BenchmarkCampaignCI,BenchmarkSweepCell] \
+//	          [-max-alloc-growth 0.10]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiment"
 )
@@ -22,7 +28,7 @@ import (
 func main() {
 	baseline := flag.String("baseline", "BENCH_campaign.json", "checked-in benchmark trajectory (the baseline)")
 	current := flag.String("current", "", "freshly measured benchmark file to gate")
-	bench := flag.String("bench", "BenchmarkCampaignCI", "benchmark name to compare")
+	bench := flag.String("bench", "BenchmarkCampaignCI,BenchmarkSweepCell", "comma-separated benchmark names to compare")
 	maxGrowth := flag.Float64("max-alloc-growth", 0.10, "allowed allocs/op growth over the baseline (0.10 = +10%)")
 	flag.Parse()
 
@@ -32,7 +38,7 @@ func main() {
 	}
 }
 
-func run(baselinePath, currentPath, bench string, maxGrowth float64) error {
+func run(baselinePath, currentPath, benchSpec string, maxGrowth float64) error {
 	if currentPath == "" {
 		return fmt.Errorf("-current is required")
 	}
@@ -44,12 +50,23 @@ func run(baselinePath, currentPath, bench string, maxGrowth float64) error {
 	if err != nil {
 		return err
 	}
-	if err := experiment.AllocGate(base, cur, bench, maxGrowth); err != nil {
-		return err
+	gated := 0
+	for _, bench := range strings.Split(benchSpec, ",") {
+		bench = strings.TrimSpace(bench)
+		if bench == "" {
+			continue
+		}
+		if err := experiment.AllocGate(base, cur, bench, maxGrowth); err != nil {
+			return err
+		}
+		b, _ := base.LatestRun(bench)
+		c, _ := cur.LatestRun(bench)
+		fmt.Printf("benchgate: %s ok — %d allocs/op (%q) vs %d baseline (%q), limit +%.0f%%\n",
+			bench, c.AllocsPerOp, c.Label, b.AllocsPerOp, b.Label, maxGrowth*100)
+		gated++
 	}
-	b, _ := base.LatestRun(bench)
-	c, _ := cur.LatestRun(bench)
-	fmt.Printf("benchgate: %s ok — %d allocs/op (%q) vs %d baseline (%q), limit +%.0f%%\n",
-		bench, c.AllocsPerOp, c.Label, b.AllocsPerOp, b.Label, maxGrowth*100)
+	if gated == 0 {
+		return fmt.Errorf("-bench selected no benchmarks")
+	}
 	return nil
 }

@@ -8,13 +8,22 @@
 //	sweep -list
 //	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
-//	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
+//	      [-adaptive-streak N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
 //
 //	sweep -scenarios all -reps 3 -scale 0.02      # full catalog, 3 reps
 //	sweep -scenarios quorum-1,quorum-2 -reps 10   # one ablation, tight CIs
+//	sweep -scheduler lifo -reps 5                 # whole catalog on LIFO dispatch
 //	sweep -resume                                 # continue a killed sweep
+//
+// -scheduler and -validator override the base configuration's grid
+// policies before each scenario's mutation is applied, so any catalog
+// scenario can be re-run under a different dispatch order or validation
+// regime. They cannot be combined with -resume: checkpoint cells do not
+// record policy overrides, so resuming across them would silently mix
+// regimes — use a fresh -checkpoint file.
 //
 // With -out the sweep also writes sweep.json (all runs + aggregates) and
 // sweep.csv (per-scenario mean/std/ci95 rows). With -cpuprofile /
@@ -36,7 +45,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/project"
 	"repro/internal/report"
+	"repro/internal/wcg"
 )
 
 func main() {
@@ -57,6 +68,9 @@ func run() error {
 	ckptPath := flag.String("checkpoint", "sweep.ckpt.jsonl", "checkpoint file (JSON lines, one per completed run)")
 	resume := flag.Bool("resume", false, "reuse completed runs from the checkpoint instead of starting over")
 	out := flag.String("out", "", "directory for sweep.json and sweep.csv (optional)")
+	scheduler := flag.String("scheduler", "", "dispatch policy for the base config: fifo, lifo, random or batch (default fifo)")
+	validator := flag.String("validator", "", "validation policy for the base config: quorum or adaptive (default quorum)")
+	adaptiveStreak := flag.Int("adaptive-streak", 10, "valid-result streak that earns a host per-host quorum 1 (with -validator adaptive)")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
@@ -124,9 +138,17 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g)\n",
 		len(selected), *reps, total, nWorkers, *scale)
 
+	if *resume && (*scheduler != "" || *validator != "") {
+		return fmt.Errorf("-resume cannot be combined with -scheduler/-validator: checkpoint cells don't record the policy overrides they ran under; use a fresh -checkpoint file")
+	}
 	sys := core.NewHCMD()
+	base := sys.CampaignConfig(*scale, *hours)
+	if err := applyPolicies(&base, *scheduler, *validator, *adaptiveStreak); err != nil {
+		return err
+	}
 	start := time.Now()
 	opts := experiment.Options{
+		Base:       base,
 		Scenarios:  selected,
 		Reps:       *reps,
 		Workers:    *workers,
@@ -165,6 +187,38 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "sweep.json and sweep.csv written to %s\n", *out)
 	}
 	return ckpt.Close()
+}
+
+// applyPolicies resolves the -scheduler/-validator flags onto the base
+// campaign configuration. Policy overrides change run outputs without
+// changing the checkpoint key (scenario, rep, seed, scale, hours), so
+// run() rejects them in combination with -resume: a checkpoint recorded
+// under different policies would be silently reused as if it matched.
+func applyPolicies(base *project.Config, scheduler, validator string, streak int) error {
+	switch scheduler {
+	case "", "fifo":
+		// the default
+	case "lifo":
+		base.Server.Scheduler = wcg.LIFOScheduler{}
+	case "random":
+		base.Server.Scheduler = wcg.RandomScheduler{Seed: base.Seed + 17}
+	case "batch":
+		base.Server.Scheduler = wcg.BatchPriorityScheduler{}
+	default:
+		return fmt.Errorf("-scheduler: unknown policy %q (have fifo, lifo, random, batch)", scheduler)
+	}
+	switch validator {
+	case "", "quorum":
+		// the default
+	case "adaptive":
+		if streak < 1 {
+			return fmt.Errorf("-adaptive-streak must be at least 1, got %d", streak)
+		}
+		base.Server.Validator = wcg.AdaptiveValidator{Streak: streak}
+	default:
+		return fmt.Errorf("-validator: unknown policy %q (have quorum, adaptive)", validator)
+	}
+	return nil
 }
 
 func writeOutputs(dir string, sweep *experiment.Sweep) error {

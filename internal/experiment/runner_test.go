@@ -69,6 +69,46 @@ func TestSweepIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestPolicyScenariosWorkerIndependent pins the policy layer's
+// determinism guarantee at the sweep level: scenarios that change the
+// dispatch mechanism, the validation regime or the host cohorts (diurnal
+// phases included) produce identical results whether the sweep runs on
+// one worker or eight — nothing in the policy state may be shared across
+// runs.
+func TestPolicyScenariosWorkerIndependent(t *testing.T) {
+	var scenarios []Scenario
+	for _, name := range []string{"lifo-dispatch", "random-dispatch", "batch-priority",
+		"adaptive-replication", "saboteurs-5pct", "deadline-2class", "diurnal-hosts"} {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("catalog lost scenario %q", name)
+		}
+		scenarios = append(scenarios, s)
+	}
+	run := func(workers int) *Sweep {
+		sw, err := Run(context.Background(), Options{
+			Base:      testBase(t),
+			Scenarios: scenarios,
+			Reps:      2,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Results, parallel.Results) {
+		t.Fatal("policy-scenario results differ between -workers=1 and -workers=8")
+	}
+	for _, r := range serial.Results {
+		if r.Metrics.MakespanWeeks <= 0 || r.Metrics.DistinctWUs == 0 {
+			t.Fatalf("degenerate cell %+v", r)
+		}
+	}
+}
+
 func TestSweepCheckpointResume(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.ckpt.jsonl")
 	base := testBase(t)

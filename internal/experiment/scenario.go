@@ -19,6 +19,7 @@ import (
 	"repro/internal/project"
 	"repro/internal/sim"
 	"repro/internal/volunteer"
+	"repro/internal/wcg"
 )
 
 // Scenario is one named point of the design space: a description and a
@@ -33,8 +34,10 @@ type Scenario struct {
 
 // Catalog returns the built-in scenario catalog: the paper's ablations
 // (launch order, quorum regime, deadline, packaging, phase schedule, grid
-// growth, phase II plan) plus workloads beyond the paper. The order is the
-// canonical presentation order of sweep reports.
+// growth, phase II plan) plus the policy-layer scenarios that swap whole
+// mechanisms — dispatch order, adaptive replication, deadline classes,
+// saboteur and diurnal host cohorts. The order is the canonical
+// presentation order of sweep reports.
 func Catalog() []Scenario {
 	return []Scenario{
 		{
@@ -131,6 +134,69 @@ func Catalog() []Scenario {
 				cfg.ControlShare /= 2
 				cfg.FullShare /= 2
 				cfg.MaxWeeks *= 2
+			},
+		},
+		// --- Policy scenarios: vary the middleware mechanisms, not just
+		// their parameters (the wcg policy layer). ---
+		{
+			Name:        "lifo-dispatch",
+			Description: "stack dispatch: the newest queued workunit goes out first, starving the oldest batches",
+			Mutate:      func(cfg *project.Config) { cfg.Server.Scheduler = wcg.LIFOScheduler{} },
+		},
+		{
+			Name:        "random-dispatch",
+			Description: "uniform-random dispatch over the queued workunits, seeded from the run seed",
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.Scheduler = wcg.RandomScheduler{Seed: cfg.Seed + 17}
+			},
+		},
+		{
+			Name:        "batch-priority",
+			Description: "strict batch seniority: finish the earliest-released receptor batch before issuing newer work",
+			Mutate:      func(cfg *project.Config) { cfg.Server.Scheduler = wcg.BatchPriorityScheduler{} },
+		},
+		{
+			Name:        "adaptive-replication",
+			Description: "BOINC-style adaptive replication: a 10-valid-result streak earns a host per-host quorum 1",
+			Mutate:      func(cfg *project.Config) { cfg.Server.Validator = wcg.AdaptiveValidator{Streak: 10} },
+		},
+		{
+			Name:        "saboteurs-1pct",
+			Description: "1% saboteur cohort: hosts that turn permanently bad and return correlated invalid results",
+			Mutate: func(cfg *project.Config) {
+				cfg.Host.Profiles = volunteer.SaboteurProfiles(0.01, cfg.Host.ErrorProb, 0.25)
+			},
+		},
+		{
+			Name:        "saboteurs-5pct",
+			Description: "5% saboteur cohort: the heavy-sabotage stress point",
+			Mutate: func(cfg *project.Config) {
+				cfg.Host.Profiles = volunteer.SaboteurProfiles(0.05, cfg.Host.ErrorProb, 0.25)
+			},
+		},
+		{
+			Name:        "adaptive-vs-saboteurs",
+			Description: "the defense matchup: adaptive replication facing the 1% saboteur cohort",
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.Validator = wcg.AdaptiveValidator{Streak: 10}
+				cfg.Host.Profiles = volunteer.SaboteurProfiles(0.01, cfg.Host.ErrorProb, 0.25)
+			},
+		},
+		{
+			Name:        "deadline-2class",
+			Description: "two deadline classes: workunits under 2.5 reference hours get 4 days, the rest keep the server deadline",
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.DeadlinePolicy = wcg.DeadlineClasses{
+					{MaxRefSeconds: 2.5 * 3600, Deadline: 4 * sim.Day},
+					{Deadline: cfg.Server.Deadline},
+				}
+			},
+		},
+		{
+			Name:        "diurnal-hosts",
+			Description: "day-cycle fleet: every device online 14h/day with phases spread around the clock",
+			Mutate: func(cfg *project.Config) {
+				cfg.Host.Profiles = volunteer.DiurnalProfiles(volunteer.DefaultOnlineHours, cfg.Host.ErrorProb)
 			},
 		},
 		{

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"reflect"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -10,10 +12,14 @@ import (
 	"repro/internal/protein"
 )
 
+// kebabName is the catalog naming convention: lowercase alphanumeric
+// segments joined by single dashes.
+var kebabName = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+
 func TestCatalogShape(t *testing.T) {
 	cat := Catalog()
-	if len(cat) < 10 {
-		t.Fatalf("catalog has %d scenarios, want ≥ 10", len(cat))
+	if len(cat) < 24 {
+		t.Fatalf("catalog has %d scenarios, want ≥ 24", len(cat))
 	}
 	seen := make(map[string]bool)
 	for _, s := range cat {
@@ -23,10 +29,42 @@ func TestCatalogShape(t *testing.T) {
 		if seen[s.Name] {
 			t.Fatalf("duplicate scenario name %q", s.Name)
 		}
+		if !kebabName.MatchString(s.Name) {
+			t.Fatalf("scenario name %q is not kebab-case", s.Name)
+		}
 		if strings.ContainsAny(s.Name, ", ") {
 			t.Fatalf("scenario name %q would break the comma-separated CLI spec", s.Name)
 		}
 		seen[s.Name] = true
+	}
+}
+
+// TestCatalogMutatorsPure guards the documented "no captured mutable
+// state" contract: applying a scenario's mutator to two independent
+// copies of the same base configuration must yield equal configs. A
+// mutator leaking state between applications (a captured counter, a
+// shared slice it appends to) would make sweep results depend on how
+// many times — and on which worker — a scenario has run.
+func TestCatalogMutatorsPure(t *testing.T) {
+	ds := protein.Generate(8, 7)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 8})
+	base := project.DefaultConfig(ds, m)
+	base.Seed = 4711
+	for _, s := range Catalog() {
+		a, b := base, base
+		s.Mutate(&a)
+		s.Mutate(&b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: mutator is not a pure function of the config:\nfirst:  %+v\nsecond: %+v", s.Name, a, b)
+		}
+	}
+	// The shared referenced state must come through untouched: a mutator
+	// editing the dataset or matrix in place (instead of replacing the
+	// pointer) would corrupt every other scenario's runs.
+	pristineDS := protein.Generate(8, 7)
+	pristineM := costmodel.Synthesize(pristineDS, costmodel.SynthesizeOptions{Seed: 8})
+	if !reflect.DeepEqual(ds, pristineDS) || !reflect.DeepEqual(m, pristineM) {
+		t.Fatal("some mutator modified the shared dataset or cost matrix in place")
 	}
 }
 

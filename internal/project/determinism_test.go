@@ -8,6 +8,9 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/protein"
+	"repro/internal/sim"
+	"repro/internal/volunteer"
+	"repro/internal/wcg"
 )
 
 // TestCampaignByteDeterminism is the regression guard behind the sweep
@@ -85,6 +88,40 @@ func TestRunnerReuseByteIdentical(t *testing.T) {
 	// And the pooled state is not sticky: a different seed still differs.
 	if probe := renderReport(t, runner.Run(determinismConfig(t, 778))); bytes.Equal(fresh, probe) {
 		t.Fatal("different seed produced an identical report; runner replaying stale state")
+	}
+}
+
+// TestRunnerReusePolicyConfigs extends the pooled byte-determinism
+// regression across the policy layer: campaigns under non-default
+// schedulers, validators, deadline classes and host cohorts, run on a
+// Runner whose arenas are dirty from other policy runs, must match their
+// fresh equivalents bit for bit — and a default-policy run right after
+// must too (no policy state may leak through Reset).
+func TestRunnerReusePolicyConfigs(t *testing.T) {
+	policyCfg := func(seed uint64) Config {
+		cfg := determinismConfig(t, seed)
+		cfg.Server.Scheduler = wcg.BatchPriorityScheduler{}
+		cfg.Server.Validator = wcg.AdaptiveValidator{Streak: 5}
+		cfg.Server.DeadlinePolicy = wcg.DeadlineClasses{
+			{MaxRefSeconds: 2 * 3600, Deadline: 4 * sim.Day},
+			{Deadline: cfg.Server.Deadline},
+		}
+		cfg.Host.Profiles = volunteer.SaboteurProfiles(0.05, cfg.Host.ErrorProb, 0.25)
+		return cfg
+	}
+	freshPolicy := renderReport(t, New(policyCfg(777)).Run())
+	freshDefault := renderReport(t, New(determinismConfig(t, 777)).Run())
+
+	runner := NewRunner()
+	lifo := determinismConfig(t, 31)
+	lifo.Server.Scheduler = wcg.LIFOScheduler{}
+	lifo.Host.Profiles = volunteer.DiurnalProfiles(12, lifo.Host.ErrorProb)
+	runner.Run(lifo) // dirty the arenas with a different policy mix
+	if got := renderReport(t, runner.Run(policyCfg(777))); !bytes.Equal(freshPolicy, got) {
+		t.Fatalf("pooled policy run diverged from fresh:\nfresh:  %.300s…\nreused: %.300s…", freshPolicy, got)
+	}
+	if got := renderReport(t, runner.Run(determinismConfig(t, 777))); !bytes.Equal(freshDefault, got) {
+		t.Fatalf("default run after policy runs diverged (policy state leaked through Reset):\nfresh:  %.300s…\nreused: %.300s…", freshDefault, got)
 	}
 }
 

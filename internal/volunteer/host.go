@@ -18,6 +18,21 @@
 // abandon work (producing timeouts and late results) and occasionally
 // return invalid results, which drives the server's redundancy factor.
 //
+// # Behavior profiles
+//
+// By default every host draws the same flat error and abandon
+// probabilities. HostConfig.Profiles instead partitions the joining
+// population into weighted cohorts (see BehaviorProfile in profile.go):
+// per-cohort error rates, saboteur cohorts whose hosts turn permanently
+// bad (correlated invalid results — the adversary the middleware's
+// adaptive replication defends against), and diurnal cohorts that
+// compute only during a daily online window. A host resolves its cohort
+// once, at init, from its own random stream; the per-task hot loop reads
+// plain fields, and an unprofiled population consumes exactly the
+// pre-profile random stream, bit for bit. Profile state is part of host
+// init, so pooled hosts (see the Reset contract below) resample it
+// exactly as fresh hosts would.
+//
 // # Reset contract
 //
 // Population.Reset rearms a population for another run on the same
@@ -106,6 +121,11 @@ type HostConfig struct {
 	// devices per week since the simulation epoch ("there are always new
 	// members that join the grid with brand new machines", §5.1).
 	HardwareTrendPerWeek float64
+	// Profiles partitions the joining population into weighted behavior
+	// cohorts (per-cohort error rates, saboteurs, diurnal availability).
+	// Empty means every host follows the flat fields above, exactly as
+	// before profiles existed.
+	Profiles []BehaviorProfile
 }
 
 // DefaultHostConfig mirrors the production campaign.
@@ -140,6 +160,17 @@ type Host struct {
 	engine *sim.Engine
 	server *wcg.Server
 	src    rng.Source // by value: a pooled host reseeds in place, no allocation
+
+	// Effective behavior, resolved at init from the flat config or the
+	// host's drawn cohort (see BehaviorProfile).
+	Profile     int     // index into cfg.Profiles; -1 without profiles
+	errorProb   float64 // per-task invalid-result (or saboteur-turn) probability
+	abandonProb float64 // per-task abandon probability
+	saboteur    bool    // errors are correlated: the first one turns the host
+	turned      bool    // saboteur gone bad: every further result is invalid
+	diurnal     bool    // computes only during a daily online window
+	phase       float64 // diurnal window start offset within the day
+	onlineSpan  float64 // diurnal window length, seconds
 
 	stopped  bool    // told to stop after the current task
 	busy     bool    // currently computing
@@ -213,6 +244,38 @@ func (h *Host) init(id int, engine *sim.Engine, server *wcg.Server, cfg HostConf
 	h.cfg = cfg
 	h.engine = engine
 	h.server = server
+	// Resolve the effective behavior: the flat config draws nothing extra
+	// (bit-for-bit the pre-profile stream); a profiled population draws
+	// the cohort (and, for diurnal cohorts, the phase) from the host's
+	// own stream.
+	h.Profile = -1
+	h.errorProb = cfg.ErrorProb
+	h.abandonProb = cfg.AbandonProb
+	h.saboteur = false
+	h.turned = false
+	h.diurnal = false
+	h.phase = 0
+	h.onlineSpan = 0
+	if len(cfg.Profiles) > 0 {
+		h.Profile = h.pickProfile(cfg.Profiles)
+		p := &cfg.Profiles[h.Profile]
+		h.errorProb = p.ErrorProb
+		if p.AbandonProb >= 0 {
+			h.abandonProb = p.AbandonProb
+		}
+		h.saboteur = p.Saboteur
+		if p.Diurnal {
+			h.diurnal = true
+			h.onlineSpan = p.OnlineHours * sim.Hour
+			if h.onlineSpan <= 0 {
+				h.onlineSpan = DefaultOnlineHours * sim.Hour
+			}
+			if h.onlineSpan > sim.Day {
+				h.onlineSpan = sim.Day
+			}
+			h.phase = h.src.Float64() * sim.Day
+		}
+	}
 	h.stopped = false
 	h.busy = false
 	h.Done = 0
@@ -283,15 +346,22 @@ func (h *Host) requestWork() {
 		reported = a.WU.WU.RefSeconds * h.Hardware
 	}
 
-	if h.src.Bernoulli(h.cfg.AbandonProb) {
+	if h.src.Bernoulli(h.abandonProb) {
 		// The volunteer kills or shelves the task: the deadline passes on
 		// the server side. With some probability the device reconnects
 		// much later and the (by then redundant) result is still counted.
 		if h.src.Bernoulli(h.cfg.LateReturnProb) {
-			delay := h.serverDeadline() + h.src.Float64()*h.cfg.LateDelayMax
+			delay := h.server.DeadlineFor(a) + h.src.Float64()*h.cfg.LateDelayMax
 			h.engine.ScheduleAfter(delay, func() {
 				h.CPUSpent += reported
-				h.server.Complete(a, wcg.OutcomeValid, reported)
+				// A turned saboteur's results are invalid however they
+				// arrive — the late-return path must not hand a bad host
+				// valid results to rebuild validation trust with.
+				oc := wcg.OutcomeValid
+				if h.turned {
+					oc = wcg.OutcomeInvalid
+				}
+				h.server.CompleteFrom(a, oc, reported, h.ID)
 			})
 		}
 		// Either way this host moves on quickly (it is the task that
@@ -304,10 +374,21 @@ func (h *Host) requestWork() {
 	h.cur = a
 	h.curReported = reported
 	h.curOutcome = wcg.OutcomeValid
-	if h.src.Bernoulli(h.cfg.ErrorProb) {
+	if h.turned || h.src.Bernoulli(h.errorProb) {
 		h.curOutcome = wcg.OutcomeInvalid
+		if h.saboteur {
+			// Correlated errors: the saboteur has turned, and every
+			// result from here on is invalid.
+			h.turned = true
+		}
 	}
-	h.engine.ScheduleAfter(wall, h.taskDoneFn)
+	delay := wall
+	if h.diurnal {
+		// A day-cycle device only computes inside its online window, so
+		// the task's elapsed time stretches across the offline gaps.
+		delay = diurnalDelay(h.engine.Now(), wall, h.phase, h.onlineSpan)
+	}
+	h.engine.ScheduleAfter(delay, h.taskDoneFn)
 }
 
 // taskDone reports the finished task and fetches the next one.
@@ -317,10 +398,6 @@ func (h *Host) taskDone() {
 	h.busy = false
 	h.Done++
 	h.CPUSpent += reported
-	h.server.Complete(a, outcome, reported)
+	h.server.CompleteFrom(a, outcome, reported, h.ID)
 	h.requestWork()
 }
-
-// serverDeadline is the server's reissue deadline, used to model how late
-// a reconnecting device's result arrives relative to the replacement copy.
-func (h *Host) serverDeadline() float64 { return h.server.Deadline() }

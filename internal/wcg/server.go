@@ -20,6 +20,19 @@
 // The server is driven by a discrete-event engine; it has no goroutines of
 // its own and is deterministic given the engine's event order.
 //
+// # Policy layer
+//
+// The middleware mechanisms are pluggable (see policy.go): a Scheduler
+// decides dispatch order (FIFO by default; LIFO, seeded-random and
+// batch-priority alternatives), a Validator decides the validation regime
+// (the quorum-switch default, or BOINC-style adaptive replication), and a
+// DeadlinePolicy decides the reissue deadline (one server-wide class by
+// default, or a small set of per-duration classes). Policies are resolved
+// to concrete method values when the server is constructed or Reset, so
+// the per-transaction hot path pays no interface dispatch; with the
+// default (nil) policies the server is bit-for-bit the production
+// deployment.
+//
 // Two mechanisms keep the server O(1) per transaction at campaign scale
 // (millions of workunits, tens of thousands of agents):
 //
@@ -27,28 +40,33 @@
 //     incrementally maintained counters, not scans. The counters depend on
 //     the quorum in force, so the one mid-project quorum switch triggers a
 //     single O(queue) recount — amortized free.
-//   - Deadlines use a wheel, not per-assignment timers: Config.Deadline is
-//     a constant, so copies time out in issue order, and one ring-buffer
-//     FIFO drained by a single re-armed engine event replaces millions of
-//     event-heap inserts and cancellations. Each timeout still fires at
-//     exactly IssuedAt+Deadline; copies returned in time simply fall out of
-//     the ring unprocessed.
+//   - Deadlines use wheels, not per-assignment timers: each deadline
+//     class's deadline is a constant, so its copies time out in issue
+//     order, and one ring-buffer FIFO per class, drained by a single
+//     re-armed engine event, replaces millions of event-heap inserts and
+//     cancellations. Each timeout still fires at exactly IssuedAt+class
+//     deadline; copies returned in time simply fall out of the ring
+//     unprocessed.
 //
 // # Reset contract
 //
 // Server.Reset rearms a server for another run on the same (freshly
 // reset) engine, retaining what a campaign is expensive to rebuild: the
-// workunit FIFO's backing array, the deadline ring, and the WUState and
-// Assignment arenas. Everything observable is zeroed — queue contents,
-// counters, Stats, the OnComplete/OnWeekCPU callbacks — so a reset server
-// is indistinguishable from NewServer to the model driving it. Every
-// *WUState and *Assignment obtained before the Reset is invalidated (the
-// arenas re-carve their slots); callers must drop them all first.
+// work queue's backing arrays (shared queue and batch buckets), the
+// deadline rings and their drain closures, the per-host trust table, and
+// the WUState and Assignment arenas. Everything observable is zeroed —
+// queue contents, counters, trust streaks, Stats, the
+// OnComplete/OnWeekCPU callbacks — and the configured policies are
+// re-bound, so a reset server is indistinguishable from NewServer to the
+// model driving it. Every *WUState and *Assignment obtained before the
+// Reset is invalidated (the arenas re-carve their slots); callers must
+// drop them all first.
 package wcg
 
 import (
 	"fmt"
 
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/slab"
 	"repro/internal/workunit"
@@ -98,10 +116,21 @@ type Config struct {
 	// from InitialQuorum to SteadyQuorum. Zero means immediately.
 	QuorumSwitchTime sim.Time
 	// Deadline is how long a copy may stay out before it is considered
-	// timed out and a replacement is issued. It is a server-wide constant,
-	// which is what makes the deadline wheel exact: copies time out in the
-	// order they were issued.
+	// timed out and a replacement is issued. Constant per deadline class,
+	// which is what makes the deadline wheels exact: a class's copies time
+	// out in the order they were issued. This field is the single default
+	// class; a DeadlinePolicy below replaces it with its own classes.
 	Deadline float64
+
+	// Scheduler selects the dispatch-order policy; nil means FIFOScheduler,
+	// the production order.
+	Scheduler Scheduler
+	// Validator selects the validation regime; nil means QuorumValidator,
+	// the comparison→value-check switch driven by the quorum fields above.
+	Validator Validator
+	// DeadlinePolicy selects the reissue-deadline regime; nil means
+	// UniformDeadline: one class at Deadline.
+	DeadlinePolicy DeadlinePolicy
 }
 
 // DefaultConfig mirrors the production deployment: quorum-2 comparison
@@ -156,6 +185,18 @@ type Assignment struct {
 	WU       *WUState
 	IssuedAt sim.Time
 	returned bool
+	class    uint8 // deadline class (wheel index); 0 under UniformDeadline
+}
+
+// wheel is one deadline class's exact timeout ring: assignments in issue
+// order, drained by one re-armed engine event. Returned/completed copies
+// fall out of the ring lazily.
+type wheel struct {
+	deadline float64
+	dlq      []*Assignment
+	dlHead   int
+	armed    bool
+	drainFn  func() // bound once per class; re-armed without allocating
 }
 
 // Server is the volunteer-grid work distributor.
@@ -163,20 +204,42 @@ type Server struct {
 	cfg    Config
 	engine *sim.Engine
 
-	queue []*WUState // FIFO of workunits needing more copies out
-	qHead int
+	// Work pool shared by the FIFO/LIFO/random schedulers; the
+	// batch-priority scheduler uses the buckets below instead.
+	queue []*WUState // workunits needing more copies out
+	qHead int        // consumed prefix (FIFO scheduler only)
+
+	// Scheduler policy, resolved to concrete method values at bind time
+	// (NewServer/Reset): the hot path pays no interface dispatch.
+	schedNext func() *WUState      // next workunit to issue a copy from
+	schedPush func(*WUState)       // enqueue a workunit needing copies
+	schedEach func(func(*WUState)) // visit queued workunits (quorum recount)
+	schedRand rng.Source           // seeded-random scheduler state
+
+	// Batch-priority scheduler state: one FIFO bucket per batch, ordered
+	// by the batch's first-enqueue rank.
+	buckets    [][]*WUState
+	bucketHead []int
+	minBucket  int
+	batchRank  []int // batch id → 1+rank of first enqueue (0 = unseen)
+	nextRank   int
 
 	// Incrementally maintained counters (see syncCounts):
 	nQueuedLive int // queued workunits not yet completed: PendingCount
 	nNeedy      int // queued workunits needing more copies out: HasWork
 	qCache      int // quorum the counters were computed against
 
-	// Deadline wheel: assignments in issue order, drained by one re-armed
-	// engine event. Returned/completed copies fall out of the ring lazily.
-	dlq     []*Assignment
-	dlHead  int
-	dlArmed bool
-	drainFn func() // bound once; re-armed without allocating a closure
+	// Deadline wheels, one exact ring per class; classFn assigns a
+	// workunit's class (nil = everything in class 0).
+	wheels   []wheel
+	classFn  func(*WUState) uint8
+	classCut []float64 // per-class RefSeconds upper bounds (classOf)
+
+	// Adaptive-replication validator state: per-host valid-result streaks,
+	// dense by host identity.
+	adaptiveOn  bool
+	adThreshold int
+	adStreak    []int
 
 	// Bump allocators: workunit states and assignments are carved from
 	// chunks instead of allocated one by one (millions per campaign). Two
@@ -213,7 +276,7 @@ func NewServer(engine *sim.Engine, cfg Config) *Server {
 		engine: engine,
 	}
 	s.qCache = s.quorum()
-	s.drainFn = s.drainDeadlines
+	s.bindPolicies()
 	return s
 }
 
@@ -262,12 +325,18 @@ func (s *Server) Reset(cfg Config) {
 	clear(s.queue)
 	s.queue = s.queue[:0]
 	s.qHead = 0
+	for i := range s.buckets {
+		clear(s.buckets[i])
+		s.buckets[i] = s.buckets[i][:0]
+		s.bucketHead[i] = 0
+	}
+	s.minBucket = 0
+	clear(s.batchRank)
+	s.nextRank = 0
 	s.nQueuedLive, s.nNeedy = 0, 0
 	s.qCache = s.quorum()
-	clear(s.dlq)
-	s.dlq = s.dlq[:0]
-	s.dlHead = 0
-	s.dlArmed = false
+	clear(s.adStreak)
+	s.bindPolicies() // sizes and clears the deadline wheels
 	s.wuArena.Reset()
 	s.asArena.Reset()
 	s.Stats = Stats{}
@@ -275,10 +344,18 @@ func (s *Server) Reset(cfg Config) {
 	s.OnWeekCPU = nil
 }
 
-// Deadline returns the server's reissue deadline: how long a copy may stay
-// out before a replacement is issued. Agents use it to model how late a
-// reconnecting device's result arrives.
+// Deadline returns the server's base reissue deadline: how long a copy of
+// the default class may stay out before a replacement is issued. Agents
+// use it to model how late a reconnecting device's result arrives; with a
+// multi-class DeadlinePolicy, DeadlineFor gives an assignment's own class
+// deadline.
 func (s *Server) Deadline() float64 { return s.cfg.Deadline }
+
+// DeadlineFor returns the reissue deadline of the assignment's deadline
+// class. Under UniformDeadline it equals Deadline().
+func (s *Server) DeadlineFor(a *Assignment) float64 {
+	return s.wheels[a.class].deadline
+}
 
 // quorum returns the quorum in force at the current simulation time.
 func (s *Server) quorum() int {
@@ -299,11 +376,7 @@ func (s *Server) refreshQuorum() {
 		return
 	}
 	s.qCache = q
-	for i := s.qHead; i < len(s.queue); i++ {
-		if st := s.queue[i]; st != nil {
-			s.syncCounts(st)
-		}
-	}
+	s.schedEach(s.syncCounts)
 }
 
 // syncCounts reconciles st's contribution to the O(1) counters after any
@@ -345,7 +418,7 @@ func (s *Server) enqueue(st *WUState) {
 		return
 	}
 	st.queued = true
-	s.queue = append(s.queue, st)
+	s.schedPush(st)
 	s.syncCounts(st)
 }
 
@@ -392,14 +465,9 @@ func (s *Server) needsCopies(st *WUState) bool {
 	return st.validReturns+st.outstanding < s.qCache
 }
 
-// maybeComplete validates st against the quorum currently in force. This
-// matters when the quorum is lowered mid-project (§5.1): a workunit that
-// already holds enough valid returns under the new quorum completes without
-// waiting for further copies.
-func (s *Server) maybeComplete(st *WUState) {
-	if st.Completed || st.validReturns < s.qCache {
-		return
-	}
+// completeWU marks st validated and assimilated: the single place a
+// workunit completes, whether by quorum or by a trusted host's result.
+func (s *Server) completeWU(st *WUState) {
 	st.Completed = true
 	s.Stats.Completed++
 	s.syncCounts(st)
@@ -408,61 +476,63 @@ func (s *Server) maybeComplete(st *WUState) {
 	}
 }
 
-// RequestWork hands out one copy, or nil if no work is available. The
-// deadline timer for the copy starts immediately.
-func (s *Server) RequestWork() *Assignment {
-	s.refreshQuorum()
-	for s.qHead < len(s.queue) {
-		st := s.queue[s.qHead]
-		if st != nil {
-			s.maybeComplete(st)
-		}
-		if st == nil || st.Completed || !s.needsCopies(st) {
-			s.dequeueHead(st)
-			continue
-		}
-		st.outstanding++
-		// If the workunit still needs more copies (quorum > 1), leave it
-		// at the queue head; otherwise it is consumed for now.
-		if !s.needsCopies(st) {
-			s.dequeueHead(st)
-		} else {
-			s.syncCounts(st)
-		}
-		s.Stats.Sent++
-		a := s.allocAssignment()
-		a.WU = st
-		a.IssuedAt = s.engine.Now()
-		s.dlq = append(s.dlq, a)
-		if !s.dlArmed {
-			// Arm at the ring head's due time, not the new copy's: when a
-			// reentrant callback lands here mid-drain, earlier live
-			// entries may still be in the ring and must not fire late.
-			s.dlArmed = true
-			s.engine.Schedule(s.dlq[s.dlHead].IssuedAt+s.cfg.Deadline, s.drainFn)
-		}
-		return a
+// maybeComplete validates st against the quorum currently in force. This
+// matters when the quorum is lowered mid-project (§5.1): a workunit that
+// already holds enough valid returns under the new quorum completes without
+// waiting for further copies.
+func (s *Server) maybeComplete(st *WUState) {
+	if st.Completed || st.validReturns < s.qCache {
+		return
 	}
-	return nil
+	s.completeWU(st)
 }
 
-// drainDeadlines is the deadline wheel's single recurring event: it times
-// out every copy whose deadline has passed (in issue order, at exactly
-// IssuedAt+Deadline since the wheel is always armed for the head's due
-// time), discards copies that returned in the meantime, and re-arms itself
-// for the next live head.
-func (s *Server) drainDeadlines() {
-	s.dlArmed = false
+// RequestWork hands out one copy, or nil if no work is available. The
+// scheduler in force picks the workunit; the deadline timer for the copy
+// starts immediately, on the wheel of the workunit's deadline class.
+func (s *Server) RequestWork() *Assignment {
+	s.refreshQuorum()
+	st := s.schedNext()
+	if st == nil {
+		return nil
+	}
+	s.Stats.Sent++
+	a := s.allocAssignment()
+	a.WU = st
+	a.IssuedAt = s.engine.Now()
+	if s.classFn != nil {
+		a.class = s.classFn(st)
+	}
+	w := &s.wheels[a.class]
+	w.dlq = append(w.dlq, a)
+	if !w.armed {
+		// Arm at the ring head's due time, not the new copy's: when a
+		// reentrant callback lands here mid-drain, earlier live
+		// entries may still be in the ring and must not fire late.
+		w.armed = true
+		s.engine.Schedule(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn)
+	}
+	return a
+}
+
+// drainWheel is deadline class k's single recurring event: it times out
+// every copy of the class whose deadline has passed (in issue order, at
+// exactly IssuedAt+deadline since the wheel is always armed for the
+// head's due time), discards copies that returned in the meantime, and
+// re-arms itself for the next live head.
+func (s *Server) drainWheel(k int) {
+	w := &s.wheels[k]
+	w.armed = false
 	s.refreshQuorum()
 	now := s.engine.Now()
-	for s.dlHead < len(s.dlq) {
-		a := s.dlq[s.dlHead]
+	for w.dlHead < len(w.dlq) {
+		a := w.dlq[w.dlHead]
 		dead := a.returned || a.WU.Completed
-		if !dead && a.IssuedAt+s.cfg.Deadline > now {
+		if !dead && a.IssuedAt+w.deadline > now {
 			break
 		}
-		s.dlq[s.dlHead] = nil
-		s.dlHead++
+		w.dlq[w.dlHead] = nil
+		w.dlHead++
 		if dead {
 			continue
 		}
@@ -477,21 +547,31 @@ func (s *Server) drainDeadlines() {
 			s.enqueue(a.WU)
 		}
 	}
-	s.dlq, s.dlHead = compactPrefix(s.dlq, s.dlHead)
+	w.dlq, w.dlHead = compactPrefix(w.dlq, w.dlHead)
 	// An OnComplete callback above may have called RequestWork and armed
 	// the wheel already; re-arming unconditionally would fork a second,
 	// permanent drain chain.
-	if !s.dlArmed && s.dlHead < len(s.dlq) {
-		s.dlArmed = true
-		s.engine.Schedule(s.dlq[s.dlHead].IssuedAt+s.cfg.Deadline, s.drainFn)
+	if !w.armed && w.dlHead < len(w.dlq) {
+		w.armed = true
+		s.engine.Schedule(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn)
 	}
 }
 
-// Complete reports a result for an assignment. cpuSeconds is the run time
-// the agent reports (wall-clock based for the UD agent, §6). Late results
-// (after timeout) are accepted: their CPU time was spent and is accounted,
-// and if the workunit still needed a result they validate it.
+// Complete reports a result for an assignment with no host identity: the
+// validator in force can never grant it per-host trust. Equivalent to
+// CompleteFrom(a, outcome, cpuSeconds, -1).
 func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
+	s.CompleteFrom(a, outcome, cpuSeconds, -1)
+}
+
+// CompleteFrom reports a result for an assignment computed by the given
+// host (any non-negative identity; negative means anonymous). cpuSeconds
+// is the run time the agent reports (wall-clock based for the UD agent,
+// §6). Late results (after timeout) are accepted: their CPU time was
+// spent and is accounted, and if the workunit still needed a result they
+// validate it. Under AdaptiveValidator the host identity carries the
+// valid-result streak that can earn the host per-host quorum 1.
+func (s *Server) CompleteFrom(a *Assignment, outcome Outcome, cpuSeconds float64, host int) {
 	if a == nil {
 		panic("wcg: Complete(nil)")
 	}
@@ -511,6 +591,9 @@ func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
 	if outcome == OutcomeInvalid {
 		s.Stats.Invalid++
 		s.Stats.WastedSeconds += cpuSeconds
+		if s.adaptiveOn && host >= 0 && host < len(s.adStreak) {
+			s.adStreak[host] = 0 // an invalid result forfeits the streak
+		}
 		if !a.WU.Completed {
 			s.enqueue(a.WU)
 		}
@@ -518,6 +601,10 @@ func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
 	}
 
 	s.Stats.Valid++
+	trusted := false
+	if s.adaptiveOn && host >= 0 {
+		trusted = s.recordValid(host)
+	}
 	if a.WU.Completed {
 		// Redundant: workunit already validated (late or extra copy).
 		s.Stats.Wasted++
@@ -530,9 +617,27 @@ func (s *Server) Complete(a *Assignment, outcome Outcome, cpuSeconds float64) {
 	s.Stats.Useful++
 	s.syncCounts(a.WU)
 	s.maybeComplete(a.WU)
+	if trusted && !a.WU.Completed {
+		// Adaptive replication: a trusted host's result validates alone,
+		// regardless of the quorum still pending.
+		s.completeWU(a.WU)
+	}
 	if !a.WU.Completed && s.needsCopies(a.WU) {
 		s.enqueue(a.WU)
 	}
+}
+
+// recordValid advances the host's valid-result streak and reports whether
+// the host was already trusted when this result arrived (trust is earned
+// by *prior* results: the result that crosses the threshold does not
+// validate itself).
+func (s *Server) recordValid(host int) bool {
+	for len(s.adStreak) <= host {
+		s.adStreak = append(s.adStreak, 0)
+	}
+	trusted := s.adStreak[host] >= s.adThreshold
+	s.adStreak[host]++
+	return trusted
 }
 
 // PendingCount returns the number of workunits still waiting for copies or

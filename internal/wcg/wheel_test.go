@@ -89,8 +89,8 @@ func TestDeadlineWheelReturnedCopiesDiscarded(t *testing.T) {
 	if srv.Stats.TimedOut != 0 {
 		t.Fatalf("returned copies timed out: %+v", srv.Stats)
 	}
-	if srv.dlHead != len(srv.dlq) {
-		t.Fatalf("ring not drained: head %d of %d", srv.dlHead, len(srv.dlq))
+	if w := &srv.wheels[0]; w.dlHead != len(w.dlq) {
+		t.Fatalf("ring not drained: head %d of %d", w.dlHead, len(w.dlq))
 	}
 }
 
@@ -208,7 +208,7 @@ func TestDrainReentrantRequestWorkSingleChain(t *testing.T) {
 	if srv.Stats.Completed != 1 || srv.Stats.TimedOut != 1 {
 		t.Fatalf("drain-time completion missing: %+v", srv.Stats)
 	}
-	if !srv.dlArmed {
+	if !srv.wheels[0].armed {
 		t.Fatal("wheel disarmed with a copy outstanding")
 	}
 	// Exactly one drain event may be live: a forked chain would show up as
