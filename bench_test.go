@@ -151,6 +151,57 @@ func BenchmarkCampaignGrid10x(b *testing.B) {
 	benchCampaign(b, "BenchmarkCampaignGrid10x", cfg, benchLabel())
 }
 
+// BenchmarkSharedGrid2Proj measures a two-project equal-share co-run on
+// one shared volunteer population at the CI scale: every host arbitrating
+// its work fetches across both project servers through the mux. The
+// share-err metric is the arbitration fidelity (max |measured −
+// configured| share); the benchgate gates its allocs/op like the other
+// campaign benchmarks.
+func BenchmarkSharedGrid2Proj(b *testing.B) {
+	cfg := system().SharedGridConfig(2, ciBenchScale, nil)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	var rep *project.GridReport
+	for i := 0; i < b.N; i++ {
+		rep = project.NewGrid(cfg).Run()
+		if !rep.Completed {
+			b.Fatal("co-run did not complete")
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(rep.MaxShareError(), "share-err")
+	b.ReportMetric(float64(rep.EventsExecuted), "events/op")
+	b.ReportMetric(rep.WeeksElapsed, "sim-weeks")
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		var results int64
+		for _, p := range rep.Projects {
+			results += p.ServerStats.Received
+		}
+		run := experiment.BenchRun{
+			Benchmark:       "BenchmarkSharedGrid2Proj",
+			Label:           benchLabel(),
+			Date:            time.Now().UTC().Format("2006-01-02"),
+			Scale:           cfg.Projects[0].WorkScale,
+			NsPerOp:         elapsed.Nanoseconds() / int64(b.N),
+			BytesPerOp:      int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+			AllocsPerOp:     int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+			EventsExecuted:  rep.EventsExecuted,
+			PeakQueueDepth:  rep.PeakPending,
+			SimWeeks:        rep.WeeksElapsed,
+			ResultsReceived: results,
+		}
+		if err := experiment.AppendBenchRun(path, run); err != nil {
+			b.Fatalf("recording bench run: %v", err)
+		}
+		b.Logf("recorded BenchmarkSharedGrid2Proj (%s) in %s", run.Label, path)
+	}
+}
+
 // BenchmarkSweepCell measures one sweep cell through the pooled
 // project.Runner — the unit of work internal/experiment schedules per
 // worker. The first run (outside the timed loop) builds the arenas; every

@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S]
+//	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S] [-coshare F]
 //
 // The default scale (1/84) finishes in seconds; -scale 1 simulates the full
 // 3.9-million-workunit campaign (minutes, several GB of events).
+//
+// With -coshare F (0 < F < 1) it additionally co-runs the HCMD workload at
+// resource share F on a shared grid against a phase-II-sized co-project
+// holding 1−F, then recomputes the §7 member arithmetic from the measured
+// share next to the assumed one — the Table 3 grid-share assumption
+// cross-validated by simulation instead of taken as a constant.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/forecast"
 	"repro/internal/project"
 	"repro/internal/report"
 )
@@ -27,10 +34,16 @@ func main() {
 	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
 	outdir := flag.String("outdir", "", "directory for CSV figure series (optional)")
 	fig1Days := flag.Int("fig1days", 3*364, "days of grid history for Figure 1")
+	seed := flag.Uint64("seed", 0, "campaign seed (0 = the deployed default)")
+	coshare := flag.Float64("coshare", 0, "co-run HCMD at this grid share against a phase-II co-project and cross-validate the §7 share assumption (0 = off)")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintln(os.Stderr, "hcmdsim: -scale must be in (0, 1]")
+		os.Exit(2)
+	}
+	if *coshare < 0 || *coshare >= 1 {
+		fmt.Fprintln(os.Stderr, "hcmdsim: -coshare must be in (0, 1)")
 		os.Exit(2)
 	}
 
@@ -59,7 +72,11 @@ func main() {
 	}
 
 	fmt.Printf("\n== Campaign simulation (scale %.5f) ==\n", *scale)
-	rep := sys.RunCampaign(*scale, *hours)
+	cfg := sys.CampaignConfig(*scale, *hours)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	rep := project.New(cfg).Run()
 	fmt.Printf("completed: %v in %.0f weeks (paper: 26)\n", rep.Completed, rep.WeeksElapsed)
 	fmt.Printf("results received: %s (distinct %s) — redundancy %.2f (paper 1.37), useful %.0f%% (paper 73%%)\n",
 		report.Comma(float64(rep.ServerStats.Received) / *scale),
@@ -94,6 +111,28 @@ func main() {
 	fmt.Print(t3.String())
 	fmt.Printf("at the phase I rate: %.0f weeks; members needed at 25%% share: %s (%s new)\n",
 		fc.WeeksAtPhaseIRate, report.Comma(fc.GridMembersNeeded), report.Comma(fc.NewMembersNeeded))
+
+	if *coshare > 0 {
+		fmt.Printf("\n== Shared-grid cross-validation (HCMD share %.0f%%) ==\n", *coshare*100)
+		gcfg := sys.CoShareConfig(*scale, *coshare)
+		if *seed != 0 {
+			// -seed reseeds the co-run too (host streams and tie-breaks;
+			// the workloads themselves stay the benchmark's).
+			gcfg.Seed = *seed
+			for i := range gcfg.Projects {
+				gcfg.Projects[i].Seed = *seed + uint64(i)
+			}
+		}
+		gr := sys.RunSharedGrid(gcfg)
+		plan := forecast.PaperPhaseIIPlan()
+		plan.GridShare = *coshare
+		check := sys.CrossValidateGridShare(gr, 0, plan)
+		fmt.Printf("configured share %.3f → measured %.3f over %.0f contended weeks (|err| %.4f)\n",
+			check.AssumedShare, check.MeasuredShare, gr.ShareWindowWeeks, check.AbsError)
+		fmt.Printf("members needed: %s assumed vs %s measured (%s vs %s new)\n",
+			report.Comma(check.Assumed.GridMembersNeeded), report.Comma(check.Measured.GridMembersNeeded),
+			report.Comma(check.Assumed.NewMembersNeeded), report.Comma(check.Measured.NewMembersNeeded))
+	}
 
 	if *outdir != "" {
 		if err := writeCSVs(sys, rep, *outdir, *fig1Days); err != nil {

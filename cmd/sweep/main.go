@@ -10,6 +10,8 @@
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
 //	      [-adaptive-streak N] [-cpuprofile FILE] [-memprofile FILE]
+//	sweep -corun [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
+//	      [-seed N] [-out DIR]
 //
 // Examples:
 //
@@ -17,6 +19,13 @@
 //	sweep -scenarios quorum-1,quorum-2 -reps 10   # one ablation, tight CIs
 //	sweep -scheduler lifo -reps 5                 # whole catalog on LIFO dispatch
 //	sweep -resume                                 # continue a killed sweep
+//	sweep -corun -reps 3                          # multi-project co-run catalog
+//
+// -corun switches to the multi-project catalog: each scenario co-runs N
+// project tenants on one shared volunteer population through the work-fetch
+// multiplexer, and the headline metric is how closely each tenant's
+// measured grid share tracks its configured resource share. Co-runs have
+// no checkpoint path and ignore the policy-override flags.
 //
 // -scheduler and -validator override the base configuration's grid
 // policies before each scenario's mutation is applied, so any catalog
@@ -58,7 +67,8 @@ func main() {
 }
 
 func run() error {
-	list := flag.Bool("list", false, "print the scenario catalog and exit")
+	list := flag.Bool("list", false, "print the scenario catalogs and exit")
+	corun := flag.Bool("corun", false, "sweep the multi-project co-run catalog instead of the single-project one")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
 	reps := flag.Int("reps", 3, "replications per scenario")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -108,10 +118,18 @@ func run() error {
 			t.AddRow(s.Name, s.Description)
 		}
 		fmt.Print(t.String())
+		g := report.NewTable("Co-run catalog (-corun)", "name", "description")
+		for _, s := range experiment.GridCatalog() {
+			g.AddRow(s.Name, s.Description)
+		}
+		fmt.Print(g.String())
 		return nil
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("-scale must be in (0, 1], got %v", *scale)
+	}
+	if *corun {
+		return runCoRuns(*scenarios, *reps, *workers, *scale, *seed, *out, *quiet)
 	}
 
 	selected, err := experiment.Select(*scenarios)
@@ -187,6 +205,68 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "sweep.json and sweep.csv written to %s\n", *out)
 	}
 	return ckpt.Close()
+}
+
+// runCoRuns executes the multi-project sweep: co-run scenarios ×
+// replications through pooled GridRunners, aggregated on measured-share
+// fidelity.
+func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, out string, quiet bool) error {
+	selected, err := experiment.GridSelect(scenarios)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	nWorkers := workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	total := len(selected) * reps
+	fmt.Fprintf(os.Stderr, "sweep -corun: %d scenarios × %d reps = %d co-runs on %d workers (scale %.4g)\n",
+		len(selected), reps, total, nWorkers, scale)
+
+	sys := core.NewHCMD()
+	opts := experiment.GridOptions{
+		Base:      sys.SharedGridConfig(2, scale, nil),
+		Scenarios: selected,
+		Reps:      reps,
+		Workers:   workers,
+		BaseSeed:  seed,
+	}
+	if !quiet {
+		opts.Progress = func(p experiment.GridProgress) {
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, max share err %.4f\n",
+				p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
+				p.Result.Metrics.MakespanWeeks, p.Result.Metrics.MaxShareError)
+		}
+	}
+	start := time.Now()
+	sweep, err := experiment.RunGrid(ctx, opts)
+	if err != nil {
+		if sweep != nil && len(sweep.Results) > 0 {
+			fmt.Fprintf(os.Stderr, "interrupted after %d/%d co-runs\n", len(sweep.Results), total)
+			fmt.Print(experiment.GridTable(sweep.Aggregates, sweep.Results).String())
+		}
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done: %d co-runs in %.1fs\n", len(sweep.Results), time.Since(start).Seconds())
+	fmt.Print(experiment.GridTable(sweep.Aggregates, sweep.Results).String())
+
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, "gridsweep.json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gridsweep.json written to %s\n", out)
+	}
+	return nil
 }
 
 // applyPolicies resolves the -scheduler/-validator flags onto the base

@@ -21,6 +21,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"repro/internal/costmodel"
 	"repro/internal/docking"
@@ -185,6 +186,17 @@ func (s *System) ForecastFromRun(rep *project.Report, plan forecast.PhaseIIPlan)
 // PhaseIIRatio is the §7 workload ratio: 4000² / (168² × 100).
 const PhaseIIRatio = 4000.0 * 4000.0 / (168.0 * 168.0 * 100.0)
 
+// phaseIIMatrix synthesizes the §7 phase II cost matrix — the benchmark's
+// shape carrying PhaseIIRatio× the work — the one recipe shared by
+// PhaseIIConfig and CoShareConfig.
+func phaseIIMatrix(ds *protein.Dataset, seed uint64) *costmodel.Matrix {
+	return costmodel.Synthesize(ds, costmodel.SynthesizeOptions{
+		Seed:        seed,
+		MeanSeconds: costmodel.Table1.Mean * PhaseIIRatio,
+		TargetTotal: costmodel.PaperTotalSeconds * PhaseIIRatio,
+	})
+}
+
 // PhaseIIConfig builds a campaign configuration for the phase II plan of
 // §7, validated by simulation rather than arithmetic: the same benchmark
 // shape carries 5.67× the work (each couple's per-point cost stands in for
@@ -192,12 +204,7 @@ const PhaseIIRatio = 4000.0 * 4000.0 / (168.0 * 168.0 * 100.0)
 // constant 59,730 VFTP — the Table 3 operating point. The §7 estimate says
 // this completes in 40 weeks.
 func (s *System) PhaseIIConfig(scale float64) project.Config {
-	m2 := costmodel.Synthesize(s.DS, costmodel.SynthesizeOptions{
-		Seed:        protein.DefaultSeed + 11,
-		MeanSeconds: costmodel.Table1.Mean * PhaseIIRatio,
-		TargetTotal: costmodel.PaperTotalSeconds * PhaseIIRatio,
-	})
-	cfg := project.DefaultConfig(s.DS, m2)
+	cfg := project.DefaultConfig(s.DS, phaseIIMatrix(s.DS, protein.DefaultSeed+11))
 	// §7 assumes a steady allocation, not the phase I ramp: a flat grid
 	// slice of 59,730 VFTP for the whole run.
 	cfg.Grid = volunteer.GridModel{BaseVFTP: 59730, GrowthPerWeek: 0}
@@ -218,6 +225,97 @@ func (s *System) PhaseIIConfig(scale float64) project.Config {
 // report; WeeksElapsed near 40 confirms Table 3 dynamically.
 func (s *System) SimulatePhaseII(scale float64) *project.Report {
 	return project.New(s.PhaseIIConfig(scale)).Run()
+}
+
+// SharedGridConfig builds a shared multi-project grid configuration: n
+// co-running copies of the HCMD workload (per-tenant seeds offset so
+// seed-dependent choices decorrelate) on one volunteer population carved
+// from the whole modeled grid, under the given resource shares (nil =
+// equal). scale subsamples work and hosts together, as in CampaignConfig.
+func (s *System) SharedGridConfig(n int, scale float64, shares []float64) project.GridConfig {
+	if n < 1 {
+		panic("core: shared grid needs at least one project")
+	}
+	base := s.CampaignConfig(scale, 0)
+	projects := make([]project.Config, n)
+	for i := range projects {
+		p := base
+		p.Seed = base.Seed + uint64(i)
+		projects[i] = p
+	}
+	return project.GridConfig{
+		Projects:  projects,
+		Shares:    shares,
+		Host:      base.Host,
+		Grid:      s.Grid,
+		GridShare: 1, // the shared population is the whole grid
+		HostScale: base.HostScale,
+		Seed:      base.Seed,
+		MaxWeeks:  base.MaxWeeks,
+	}
+}
+
+// CoShareConfig builds the §7 cross-validation co-run: the HCMD workload
+// holding the given resource share of a shared grid against a
+// phase-II-sized co-project holding the rest. The co-project carries 5.67×
+// the work, so it outlasts HCMD and the HCMD tenant's measured share is
+// contended for its whole lifetime.
+func (s *System) CoShareConfig(scale, share float64) project.GridConfig {
+	if share <= 0 || share >= 1 {
+		panic("core: co-run share must be in (0,1)")
+	}
+	cfg := s.SharedGridConfig(2, scale, []float64{share, 1 - share})
+	big := &cfg.Projects[1]
+	big.M = phaseIIMatrix(big.DS, big.Seed+11)
+	cfg.MaxWeeks = 120
+	return cfg
+}
+
+// RunSharedGrid simulates a multi-project co-run on one shared volunteer
+// population: each host multiplexes its work fetches across the attached
+// project servers by resource share, so each project's grid share comes
+// out as a measurement instead of an assumption.
+func (s *System) RunSharedGrid(cfg project.GridConfig) *project.GridReport {
+	return project.NewGrid(cfg).Run()
+}
+
+// GridShareCheck is the §7 cross-validation: the forecast's assumed grid
+// share next to the share a shared-grid simulation actually realized, and
+// Table 3 recomputed under each.
+type GridShareCheck struct {
+	AssumedShare  float64
+	MeasuredShare float64
+	AbsError      float64
+	// Assumed is Table 3 under the plan's GridShare; Measured is Table 3
+	// under the simulated share (PhaseIIPlan.MeasuredShare path).
+	Assumed  forecast.Forecast
+	Measured forecast.Forecast
+}
+
+// CrossValidateGridShare recomputes the §7 member arithmetic from the
+// grid share project proj realized in a shared-grid co-run, next to the
+// plan's assumed share. A small AbsError means the paper's 25 % assumption
+// is dynamically consistent with a grid that actually multiplexes the
+// projects; a large one quantifies how far the assumption drifts.
+func (s *System) CrossValidateGridShare(rep *project.GridReport, proj int, plan forecast.PhaseIIPlan) GridShareCheck {
+	measured := rep.MeasuredShareOf(proj)
+	if measured <= 0 {
+		// A zero measured share means the co-run never contended (the
+		// share window closed before any CPU was reported) — passing it
+		// on would make forecast.shareInForce silently fall back to the
+		// assumption and label it "measured".
+		panic("core: co-run measured no contended share; scale the workload up or the population down")
+	}
+	measuredPlan := plan
+	measuredPlan.MeasuredShare = measured
+	check := GridShareCheck{
+		AssumedShare:  plan.GridShare,
+		MeasuredShare: measured,
+		Assumed:       forecast.Estimate(forecast.PaperPhaseI(), plan),
+		Measured:      forecast.Estimate(forecast.PaperPhaseI(), measuredPlan),
+	}
+	check.AbsError = math.Abs(measured - plan.GridShare)
+	return check
 }
 
 // DockCouple runs the real docking kernel for one couple over a range of

@@ -195,6 +195,56 @@ func TestForecastFromRunShortCampaign(t *testing.T) {
 	rep.Config.ControlWeeks = saved
 }
 
+// TestSharedGridCrossValidation runs the §7 share assumption through the
+// simulator: HCMD at a 25 % resource share of a shared grid against a
+// phase-II-sized co-project, measured share fed back into the Table 3
+// member arithmetic.
+func TestSharedGridCrossValidation(t *testing.T) {
+	cfg := hcmd.CoShareConfig(1.0/168, 0.25)
+	cfg.HostScale = 0.002 // keep the test population tiny
+	rep := hcmd.RunSharedGrid(cfg)
+	if len(rep.Projects) != 2 {
+		t.Fatalf("co-run carried %d projects, want 2", len(rep.Projects))
+	}
+	plan := forecast.PaperPhaseIIPlan()
+	check := hcmd.CrossValidateGridShare(rep, 0, plan)
+	if check.AssumedShare != 0.25 {
+		t.Fatalf("assumed share %v", check.AssumedShare)
+	}
+	if check.AbsError > 0.03 {
+		t.Fatalf("measured share %.4f drifted %.4f from the assumed 0.25", check.MeasuredShare, check.AbsError)
+	}
+	if check.Measured.GridShareUsed != check.MeasuredShare {
+		t.Fatal("measured forecast did not rest on the measured share")
+	}
+	// Member arithmetic scales inversely with the share in force.
+	wantRatio := check.AssumedShare / check.MeasuredShare
+	gotRatio := check.Measured.GridMembersNeeded / check.Assumed.GridMembersNeeded
+	if math.Abs(gotRatio-wantRatio) > 1e-9 {
+		t.Fatalf("member arithmetic ratio %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestSharedGridConfigShape(t *testing.T) {
+	cfg := hcmd.SharedGridConfig(3, 1.0/84, nil)
+	if len(cfg.Projects) != 3 {
+		t.Fatalf("projects = %d", len(cfg.Projects))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range cfg.Projects {
+		if p.DS != hcmd.DS || p.M != hcmd.Matrix {
+			t.Fatal("tenants must share the benchmark dataset and matrix")
+		}
+		if seen[p.Seed] {
+			t.Fatal("tenant seeds must be offset")
+		}
+		seen[p.Seed] = true
+	}
+	if cfg.GridShare != 1 {
+		t.Fatalf("GridShare = %v, want the whole grid", cfg.GridShare)
+	}
+}
+
 func TestRunExperiments(t *testing.T) {
 	base := hcmd.CampaignConfig(1.0/168, 0)
 	base.HostScale = 0.002 // keep the test population tiny

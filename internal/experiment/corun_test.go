@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/project"
+	"repro/internal/protein"
+	"repro/internal/volunteer"
+)
+
+// testGridBase returns a tiny two-tenant shared-grid configuration over
+// the runner-test dataset, fast enough for replicated sweeps.
+func testGridBase(t *testing.T) project.GridConfig {
+	t.Helper()
+	ds := protein.Generate(10, 31)
+	m := costmodel.Synthesize(ds, costmodel.SynthesizeOptions{Seed: 32})
+	pa := project.DefaultConfig(ds, m)
+	pa.WorkScale = 0.3
+	pb := pa
+	pb.Seed = pa.Seed + 1
+	return project.GridConfig{
+		Projects:  []project.Config{pa, pb},
+		Host:      volunteer.DefaultHostConfig(),
+		Grid:      volunteer.DefaultGridModel(),
+		GridShare: 0.48,
+		HostScale: 0.003,
+		Seed:      1234,
+		MaxWeeks:  80,
+	}
+}
+
+func testGridScenarios() []GridScenario {
+	return []GridScenario{
+		{Name: "equal", Description: "two equal tenants", Mutate: func(cfg *project.GridConfig) { cfg.Shares = nil }},
+		{Name: "skew", Description: "1:3 shares", Mutate: func(cfg *project.GridConfig) { cfg.Shares = []float64{1, 3} }},
+	}
+}
+
+// TestGridSweepIdenticalAcrossWorkerCounts is the co-run analogue of the
+// single-project workers=1-vs-N guarantee: grid results and aggregates
+// must not depend on the worker pool size.
+func TestGridSweepIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *GridSweep {
+		sw, err := RunGrid(context.Background(), GridOptions{
+			Base:      testGridBase(t),
+			Scenarios: testGridScenarios(),
+			Reps:      3,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Results, parallel.Results) {
+		t.Fatal("co-run results differ between -workers=1 and -workers=8")
+	}
+	if !reflect.DeepEqual(serial.Aggregates, parallel.Aggregates) {
+		t.Fatal("co-run aggregates differ between -workers=1 and -workers=8")
+	}
+	if len(serial.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(serial.Results))
+	}
+	for _, r := range serial.Results {
+		if r.Metrics.MaxShareError > 0.05 {
+			t.Fatalf("%s rep %d: share error %.4f", r.Scenario, r.Rep, r.Metrics.MaxShareError)
+		}
+	}
+}
+
+// TestGridCatalogShape mirrors the single-project catalog hygiene rules.
+func TestGridCatalogShape(t *testing.T) {
+	cat := GridCatalog()
+	if len(cat) < 5 {
+		t.Fatalf("co-run catalog has %d scenarios, want ≥ 5", len(cat))
+	}
+	seen := make(map[string]bool)
+	for _, s := range cat {
+		if s.Name == "" || s.Description == "" || s.Mutate == nil {
+			t.Fatalf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate co-run scenario name %q", s.Name)
+		}
+		if !kebabName.MatchString(s.Name) {
+			t.Fatalf("co-run scenario name %q is not kebab-case", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"hcmd-25pct-share", "two-project-equal", "greedy-coproject", "phase1-phase2-corun", "share-starvation"} {
+		if !seen[want] {
+			t.Fatalf("co-run catalog missing %q", want)
+		}
+	}
+}
+
+// TestGridCatalogMutatorsPure: applying a co-run mutator twice to copies
+// of the base yields equal configs, and the shared dataset/matrix survive
+// untouched.
+func TestGridCatalogMutatorsPure(t *testing.T) {
+	base := testGridBase(t)
+	for _, s := range GridCatalog() {
+		a, b := base, base
+		a.Projects = append([]project.Config(nil), base.Projects...)
+		b.Projects = append([]project.Config(nil), base.Projects...)
+		s.Mutate(&a)
+		s.Mutate(&b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: mutator is not a pure function of the config", s.Name)
+		}
+		if len(a.Projects) == 0 {
+			t.Fatalf("%s: mutator dropped every project", s.Name)
+		}
+		for i, p := range a.Projects {
+			if p.DS == nil || p.M == nil {
+				t.Fatalf("%s: project %d lost dataset or matrix", s.Name, i)
+			}
+		}
+	}
+	pristineDS := protein.Generate(10, 31)
+	pristineM := costmodel.Synthesize(pristineDS, costmodel.SynthesizeOptions{Seed: 32})
+	if !reflect.DeepEqual(base.Projects[0].DS, pristineDS) || !reflect.DeepEqual(base.Projects[0].M, pristineM) {
+		t.Fatal("some co-run mutator modified the shared dataset or cost matrix in place")
+	}
+}
+
+// TestGridCatalogRunnable runs every co-run scenario once at a small scale
+// through a pooled runner and sanity-checks the share arbitration.
+func TestGridCatalogRunnable(t *testing.T) {
+	base := testGridBase(t)
+	runner := project.NewGridRunner()
+	for si, s := range GridCatalog() {
+		cfg := base
+		cfg.Projects = append([]project.Config(nil), base.Projects...)
+		cfg.Seed = DeriveSeed(base.Seed, si, 0)
+		s.Mutate(&cfg)
+		cfg.MaxWeeks = 25 // cap the heavyweight scenarios for test budget
+		rep := runner.Run(cfg)
+		m := ExtractGridMetrics(rep)
+		if len(m.Shares) != len(m.MeasuredShares) || len(m.Shares) == 0 {
+			t.Fatalf("%s: malformed shares %v / %v", s.Name, m.Shares, m.MeasuredShares)
+		}
+		var sum float64
+		for _, sh := range m.Shares {
+			sum += sh
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: configured shares sum to %v", s.Name, sum)
+		}
+		if m.MaxShareError > 0.06 {
+			t.Fatalf("%s: measured shares %v drifted from configured %v (err %.4f)",
+				s.Name, m.MeasuredShares, m.Shares, m.MaxShareError)
+		}
+	}
+}
+
+func TestGridSelect(t *testing.T) {
+	all, err := GridSelect("all")
+	if err != nil || len(all) != len(GridCatalog()) {
+		t.Fatalf("GridSelect(all) = %d scenarios, err %v", len(all), err)
+	}
+	some, err := GridSelect("share-starvation, two-project-equal,share-starvation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "share-starvation" || some[1].Name != "two-project-equal" {
+		t.Fatalf("GridSelect dedup/order broken: %d", len(some))
+	}
+	if _, err := GridSelect("no-such-corun"); err == nil || !strings.Contains(err.Error(), "co-run") {
+		t.Fatalf("expected co-run unknown-name error, got %v", err)
+	}
+	if _, err := GridSelect(" , "); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+}
+
+func TestRunGridValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunGrid(ctx, GridOptions{Scenarios: testGridScenarios(), Reps: 1}); err == nil {
+		t.Fatal("missing base accepted")
+	}
+	if _, err := RunGrid(ctx, GridOptions{Base: testGridBase(t), Reps: 1}); err == nil {
+		t.Fatal("missing scenarios accepted")
+	}
+	if _, err := RunGrid(ctx, GridOptions{Base: testGridBase(t), Scenarios: testGridScenarios(), Reps: 0}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+// TestRunGridCancellation: a cancelled context returns the partial sweep.
+func TestRunGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw, err := RunGrid(ctx, GridOptions{
+		Base:      testGridBase(t),
+		Scenarios: testGridScenarios(),
+		Reps:      2,
+		Workers:   1,
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	if sw == nil {
+		t.Fatal("cancelled sweep returned no partial result")
+	}
+}

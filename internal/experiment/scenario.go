@@ -15,7 +15,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/costmodel"
 	"repro/internal/project"
 	"repro/internal/sim"
 	"repro/internal/volunteer"
@@ -203,11 +202,7 @@ func Catalog() []Scenario {
 			Name:        "phase2-plan",
 			Description: "§7 phase II operating point: 5.67× workload on a flat 59,730-VFTP slice, validated by simulation",
 			Mutate: func(cfg *project.Config) {
-				cfg.M = costmodel.Synthesize(cfg.DS, costmodel.SynthesizeOptions{
-					Seed:        cfg.Seed + 11,
-					MeanSeconds: costmodel.Table1.Mean * PhaseIIRatio,
-					TargetTotal: costmodel.PaperTotalSeconds * PhaseIIRatio,
-				})
+				cfg.M = phase2Matrix(cfg)
 				cfg.Grid = volunteer.GridModel{BaseVFTP: 59730, GrowthPerWeek: 0}
 				cfg.ControlWeeks = 0
 				cfg.RampWeeks = 0.1

@@ -70,6 +70,21 @@ type PhaseIIPlan struct {
 	PointsReduction float64 // docking-point cut factor (paper: 100)
 	TargetWeeks     float64 // wanted completion time (paper: 40)
 	GridShare       float64 // project share of the grid in phase II (paper: 0.25)
+	// MeasuredShare, when positive, replaces the assumed GridShare in the
+	// §7 member arithmetic: the grid share actually realized by a
+	// shared-grid co-run simulation (project.GridReport.MeasuredShareOf)
+	// instead of the paper's hardcoded 25 %. Table 3 then rests on a
+	// mechanistic number rather than an assumption.
+	MeasuredShare float64
+}
+
+// shareInForce returns the grid share the member arithmetic uses: the
+// measured share when one is supplied, the planning assumption otherwise.
+func (p PhaseIIPlan) shareInForce() float64 {
+	if p.MeasuredShare > 0 {
+		return p.MeasuredShare
+	}
+	return p.GridShare
 }
 
 // PaperPhaseIIPlan returns the §7 assumptions.
@@ -90,7 +105,8 @@ type Forecast struct {
 	MembersI          float64
 	MembersII         float64 // members whose yield supplies VFTPII
 	WeeksAtPhaseIRate float64 // §7: ~90 weeks if nothing changes
-	GridMembersNeeded float64 // §7: members so a GridShare slice supplies VFTPII
+	GridShareUsed     float64 // the share the member arithmetic rested on
+	GridMembersNeeded float64 // §7: members so a GridShareUsed slice supplies VFTPII
 	NewMembersNeeded  float64 // §7: beyond the current grid membership
 }
 
@@ -123,13 +139,15 @@ func Estimate(p1 PhaseI, plan PhaseIIPlan) Forecast {
 	}
 	f.MembersII = vftpII / p1.yield()
 	f.WeeksAtPhaseIRate = cpuII / (vftpI * 7 * vftp.SecondsPerDay)
-	if plan.GridShare > 0 {
+	if share := plan.shareInForce(); share > 0 {
 		// The grid-wide member yield: the whole grid's membership maps to
-		// the whole grid's VFTP; the project only gets GridShare of it.
+		// the whole grid's VFTP; the project only gets its share of it.
 		// §7 uses ~60,000 VFTP for ~325,000 members and divides by the
-		// 25 % share.
+		// assumed 25 % share; a MeasuredShare substitutes the share a
+		// shared-grid co-run actually realized.
 		gridYield := gridVFTPForMembers / float64(CurrentGridMembers)
-		f.GridMembersNeeded = vftpII / (gridYield * plan.GridShare)
+		f.GridShareUsed = share
+		f.GridMembersNeeded = vftpII / (gridYield * share)
 		f.NewMembersNeeded = f.GridMembersNeeded - CurrentGridMembers
 		if f.NewMembersNeeded < 0 {
 			f.NewMembersNeeded = 0

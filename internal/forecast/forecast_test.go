@@ -108,6 +108,48 @@ func TestEstimateNoShare(t *testing.T) {
 	}
 }
 
+// TestMeasuredShareInputPath: Table 3's member arithmetic recomputed from
+// a simulated share instead of the hardcoded 25 %. A measured share equal
+// to the paper's assumption must reproduce the paper's numbers exactly;
+// a different measured share rescales the member need inversely.
+func TestMeasuredShareInputPath(t *testing.T) {
+	p1 := PaperPhaseI()
+	assumed := Estimate(p1, PaperPhaseIIPlan())
+
+	// Measured == assumed ⇒ identical to the paper's Table 3 / §7 numbers.
+	same := PaperPhaseIIPlan()
+	same.MeasuredShare = same.GridShare
+	f := Estimate(p1, same)
+	if f.GridMembersNeeded != assumed.GridMembersNeeded || f.NewMembersNeeded != assumed.NewMembersNeeded {
+		t.Fatalf("measured share equal to the assumption diverged: %v vs %v",
+			f.GridMembersNeeded, assumed.GridMembersNeeded)
+	}
+	if f.GridShareUsed != 0.25 {
+		t.Fatalf("GridShareUsed = %v, want 0.25", f.GridShareUsed)
+	}
+	// And against the paper's own text: ~1,300,000 members at 25 %.
+	if math.Abs(f.GridMembersNeeded-1294150)/1294150 > 0.01 {
+		t.Fatalf("members at measured 25%% = %.0f, want ≈ 1,300,000", f.GridMembersNeeded)
+	}
+
+	// A measured share of 50 % halves the membership requirement; the
+	// measured path overrides the assumption, not the other way round.
+	half := PaperPhaseIIPlan()
+	half.MeasuredShare = 0.5
+	g := Estimate(p1, half)
+	if math.Abs(g.GridMembersNeeded*2-assumed.GridMembersNeeded) > 1 {
+		t.Fatalf("doubled share should halve the member need: %v vs %v",
+			g.GridMembersNeeded, assumed.GridMembersNeeded)
+	}
+	if g.GridShareUsed != 0.5 {
+		t.Fatalf("GridShareUsed = %v, want the measured 0.5", g.GridShareUsed)
+	}
+	// Everything share-independent is untouched.
+	if g.VFTPII != assumed.VFTPII || g.MembersII != assumed.MembersII {
+		t.Fatal("measured share must only affect the grid-member arithmetic")
+	}
+}
+
 func TestEstimatePanics(t *testing.T) {
 	good1 := PaperPhaseI()
 	goodPlan := PaperPhaseIIPlan()

@@ -1,6 +1,6 @@
-// Package project orchestrates the HCMD phase I campaign on the simulated
-// volunteer grid: workunit release order, the three project phases of §5.1,
-// and the accounting behind Figures 6-8 and Table 2.
+// Package project orchestrates docking campaigns on the simulated
+// volunteer grid: workunit release order, the three project phases of
+// §5.1, and the accounting behind Figures 6-8 and Table 2.
 //
 // The World Community Grid team launched "the workunit of one protein after
 // an other", cheapest protein first — failures surface quickly when results
@@ -9,12 +9,24 @@
 // phases: a low-priority control period (the first two months), a
 // prioritization ramp (February), and a full-power phase at a constant
 // ~45 % share of a growing grid (March until completion).
+//
+// Two run shapes share the machinery (see tenant.go):
+//
+//   - Campaign is the single-project path of the paper's phase I: one
+//     project owning its entire host population, the population bound
+//     straight to the project's middleware server. This path is
+//     byte-identical to the pre-shared-grid code, fresh and pooled
+//     (golden_test.go pins the hashes).
+//   - Grid (grid.go) is the shared multi-project path: N tenants on one
+//     volunteer population, each host multiplexing its work fetches across
+//     the attached project servers by resource share, so a project's grid
+//     share is a measured output instead of an assumed constant.
 package project
 
 import (
 	"fmt"
+
 	"math"
-	"sort"
 
 	"repro/internal/costmodel"
 	"repro/internal/credit"
@@ -25,7 +37,6 @@ import (
 	"repro/internal/vftp"
 	"repro/internal/volunteer"
 	"repro/internal/wcg"
-	"repro/internal/workunit"
 )
 
 // LaunchOrder selects the order receptor batches are released in.
@@ -210,45 +221,12 @@ func (r Report) TotalFactor() float64 {
 	return r.ServerStats.CPUSeconds / r.TotalRefWork
 }
 
-// slicePlan is the precomputed packaging of one (receptor, ligand) couple:
-// the workunit slicing is decided once in prepare() and reused verbatim by
-// releaseBatch, instead of being recomputed at release time.
-type slicePlan struct {
-	ligand int
-	nsep   int // starting positions per workunit (SliceCouple)
-}
-
-// batch is one receptor's worth of work.
-type batch struct {
-	receptor  int
-	cost      float64 // ref-seconds (scaled)
-	remaining int     // workunits not yet completed
-	total     int
-	doneRef   float64     // ref-seconds completed
-	plan      []slicePlan // release plan, one entry per sampled ligand
-}
-
-// Campaign is a configured, runnable simulation.
+// Campaign is a configured, runnable single-project simulation: one tenant
+// owning its entire host population, bound to it directly (no mux).
 type Campaign struct {
-	cfg     Config
-	engine  *sim.Engine
-	server  *wcg.Server
-	pop     *volunteer.Population
-	batches []batch
-	order   []int // batch release order (indexes into batches)
-
-	next        int // next batch to release
-	outstanding int // batches released but not completed
-
-	weeklyCPU   []float64
-	weeklyCount []int64
-
-	// Reusable scratch: the ligand-sampling bitset (one bit per ligand
-	// column) and the sampled-index buffer, shared by every releaseBatch
-	// and every pooled run.
-	seenBits   []uint64
-	ligScratch []int
-
+	t      tenant
+	engine *sim.Engine
+	pop    *volunteer.Population
 	ledger *credit.Ledger
 
 	// pooled marks a Runner-owned campaign: its arenas survive Run for the
@@ -256,8 +234,6 @@ type Campaign struct {
 	// the Report is a field of this struct, so a caller keeping the report
 	// alive would otherwise pin every arena chunk of the finished run.
 	pooled bool
-
-	report Report
 }
 
 // checkConfig validates cfg and fills in defaulted fields; New and reset
@@ -284,12 +260,10 @@ func checkConfig(cfg Config) Config {
 // New builds a campaign from the configuration.
 func New(cfg Config) *Campaign {
 	cfg = checkConfig(cfg)
-	c := &Campaign{cfg: cfg, engine: sim.NewEngine()}
-	c.server = wcg.NewServer(c.engine, cfg.Server)
-	c.pop = volunteer.NewPopulation(c.engine, c.server, cfg.Host, rng.New(cfg.Seed))
+	c := &Campaign{engine: sim.NewEngine()}
+	c.t.initTenant(cfg, wcg.NewServer(c.engine, cfg.Server))
+	c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
 	c.ledger = credit.NewLedger()
-	c.report.Config = cfg
-	c.report.ReportedHours = stats.NewHistogram(0, 80, 80)
 	return c
 }
 
@@ -301,24 +275,11 @@ func New(cfg Config) *Campaign {
 // Report is overwritten — this is the Runner's pooled path.
 func (c *Campaign) reset(cfg Config) {
 	cfg = checkConfig(cfg)
-	c.cfg = cfg
 	c.engine.Reset()
-	c.server.Reset(cfg.Server)
+	c.t.server.Reset(cfg.Server)
 	c.pop.Reset(cfg.Host, rng.New(cfg.Seed))
 	c.ledger.Reset()
-	c.next, c.outstanding = 0, 0
-	c.weeklyCPU = c.weeklyCPU[:0]
-	c.weeklyCount = c.weeklyCount[:0]
-
-	r := &c.report
-	hist := r.ReportedHours
-	hcmd, grid, results := r.HCMDVFTP, r.GridVFTP, r.ResultsWeek
-	snaps := r.Snapshots[:0]
-	*r = Report{Config: cfg}
-	hist.Reset()
-	r.ReportedHours = hist
-	r.HCMDVFTP, r.GridVFTP, r.ResultsWeek = hcmd, grid, results
-	r.Snapshots = snaps
+	c.t.reset(cfg)
 }
 
 // Runner runs campaigns back to back on one reusable arena of state: the
@@ -344,171 +305,18 @@ func (r *Runner) Run(cfg Config) *Report {
 		r.c.pooled = true
 		// Retain from the start so the first run's chunks already land in
 		// the reusable arenas (before any workunit is carved).
-		r.c.server.Retain()
+		r.c.t.server.Retain()
 	} else {
 		r.c.reset(cfg)
 	}
 	return r.c.Run()
 }
 
-// ligandsFor returns the (possibly subsampled) ligand list for a receptor.
-// The sample is offset by the receptor index so that across receptors every
-// ligand column is drawn evenly — plain striding from 0 would bias the
-// scaled workload toward a few ligands' cost profile.
-//
-// The returned slice is scratch owned by the campaign, valid until the
-// next ligandsFor call; the sampling set is a reusable bitset, so repeated
-// batch releases allocate nothing once the scratch has grown.
-func (c *Campaign) ligandsFor(receptor int) []int {
-	n := c.cfg.DS.Len()
-	count := int(math.Round(float64(n) * c.cfg.WorkScale))
-	if count < 1 {
-		count = 1
-	}
-	out := c.ligScratch[:0]
-	if count >= n {
-		for j := 0; j < n; j++ {
-			out = append(out, j)
-		}
-		c.ligScratch = out
-		return out
-	}
-	words := (n + 63) / 64
-	if cap(c.seenBits) < words {
-		c.seenBits = make([]uint64, words)
-	}
-	seen := c.seenBits[:words]
-	clear(seen)
-	stride := float64(n) / float64(count)
-	// The offset multiplies the receptor index by a constant coprime with
-	// typical dataset sizes so the sampled ligand is unrelated to the
-	// receptor (receptor+k would select the diagonal at count=1, which is
-	// systematically more expensive: big receptors dock big ligands).
-	const scatter = 53
-	for k := 0; k < count; k++ {
-		j := (receptor*scatter + int(math.Round(float64(k)*stride))) % n
-		for seen[j>>6]&(1<<(j&63)) != 0 {
-			j = (j + 1) % n
-		}
-		seen[j>>6] |= 1 << (j & 63)
-		out = append(out, j)
-	}
-	c.ligScratch = out
-	return out
-}
-
-// prepare builds batches and their release order, reusing the previous
-// run's batch array and slicing-plan capacity when the campaign is pooled.
-func (c *Campaign) prepare() {
-	ds, m := c.cfg.DS, c.cfg.M
-	if cap(c.batches) < ds.Len() {
-		c.batches = make([]batch, ds.Len())
-	} else {
-		c.batches = c.batches[:ds.Len()]
-	}
-	for i := range c.batches {
-		b := &c.batches[i]
-		*b = batch{receptor: i, plan: b.plan[:0]}
-		ligands := c.ligandsFor(i)
-		for _, j := range ligands {
-			nsep := workunit.SliceCouple(c.cfg.HHours*3600, m.At(i, j), ds.Proteins[i].Nsep)
-			b.plan = append(b.plan, slicePlan{ligand: j, nsep: nsep})
-			b.total += workunit.CoupleCount(ds.Proteins[i].Nsep, nsep)
-			b.cost += float64(ds.Proteins[i].Nsep) * m.At(i, j)
-		}
-		b.remaining = b.total
-		c.report.TotalRefWork += b.cost
-		c.report.DistinctWUs += int64(b.total)
-	}
-	if cap(c.order) < len(c.batches) {
-		c.order = make([]int, len(c.batches))
-	} else {
-		c.order = c.order[:len(c.batches)]
-	}
-	for i := range c.order {
-		c.order[i] = i
-	}
-	switch c.cfg.Order {
-	case CheapestFirst:
-		sort.SliceStable(c.order, func(a, b int) bool {
-			return c.batches[c.order[a]].cost < c.batches[c.order[b]].cost
-		})
-	case CostliestFirst:
-		sort.SliceStable(c.order, func(a, b int) bool {
-			return c.batches[c.order[a]].cost > c.batches[c.order[b]].cost
-		})
-	case RandomOrder:
-		rng.New(c.cfg.Seed+99).Shuffle(len(c.order), func(a, b int) {
-			c.order[a], c.order[b] = c.order[b], c.order[a]
-		})
-	}
-}
-
-// releaseBatch feeds one receptor's workunits to the server, following the
-// slicing plan prepare() computed.
-func (c *Campaign) releaseBatch(orderIdx int) {
-	bi := c.order[orderIdx]
-	b := &c.batches[bi]
-	ds, m := c.cfg.DS, c.cfg.M
-	rec := b.receptor
-	total := ds.Proteins[rec].Nsep
-	var id int64
-	for _, p := range b.plan {
-		cost := m.At(rec, p.ligand)
-		for lo := 1; lo <= total; lo += p.nsep {
-			hi := lo + p.nsep - 1
-			if hi > total {
-				hi = total
-			}
-			c.server.AddWorkunit(workunit.Workunit{
-				ID:       int64(rec)<<32 | id,
-				Receptor: rec, Ligand: p.ligand,
-				ISepLo: lo, ISepHi: hi,
-				RefSeconds: float64(hi-lo+1) * cost,
-			}, bi)
-			id++
-		}
-	}
-	c.outstanding++
-}
-
-// feed keeps the server stocked: release batches until pending work covers
-// several days of the active population's consumption (a typical workunit
-// takes ~13 reported hours, so ~8 workunits per host per feed interval is a
-// comfortable buffer).
-func (c *Campaign) feed() {
-	low := 12 * c.pop.Active()
-	if low < 64 {
-		low = 64
-	}
-	for c.next < len(c.order) && c.server.PendingCount() < low {
-		c.releaseBatch(c.next)
-		c.next++
-	}
-}
-
 // Run executes the campaign and returns its report.
 func (c *Campaign) Run() *Report {
-	cfg := &c.cfg
-	c.prepare()
-
-	c.server.OnComplete = func(st *wcg.WUState) {
-		b := &c.batches[st.Batch]
-		b.remaining--
-		b.doneRef += st.WU.RefSeconds
-		if b.remaining == 0 {
-			c.outstanding--
-		}
-	}
-	c.server.OnWeekCPU = func(week int, cpu float64) {
-		for len(c.weeklyCPU) <= week {
-			c.weeklyCPU = append(c.weeklyCPU, 0)
-			c.weeklyCount = append(c.weeklyCount, 0)
-		}
-		c.weeklyCPU[week] += cpu
-		c.weeklyCount[week]++
-		c.report.ReportedHours.Add(cpu / 3600)
-	}
+	cfg := &c.t.cfg
+	c.t.prepare()
+	c.t.bind()
 
 	done := false
 	doneWeek := 0.0
@@ -520,16 +328,16 @@ func (c *Campaign) Run() *Report {
 		}
 		// Figure 7 snapshots (captured at the first tick at/after the mark).
 		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
-			c.captureSnapshot(w)
+			c.t.captureSnapshot(w)
 			snapIdx++
 		}
-		if c.allDone() {
+		if c.t.allDone() {
 			done = true
 			doneWeek = w
 			// Capture any snapshot marks not yet reached: the project is
 			// finished, so they all see the final (complete) state.
 			for snapIdx < len(cfg.SnapshotWeeks) {
-				c.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
+				c.t.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
 				snapIdx++
 			}
 			c.pop.SetTarget(0)
@@ -542,13 +350,13 @@ func (c *Campaign) Run() *Report {
 			target = 1
 		}
 		c.pop.SetTarget(target)
-		c.feed()
+		c.t.feed(c.pop.Active())
 	})
 	// A daily feeder keeps the queue from draining dry between the weekly
 	// phase adjustments (the server would otherwise starve fast hosts).
 	daily := c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
 		if !done {
-			c.feed()
+			c.t.feed(c.pop.Active())
 		}
 	})
 
@@ -558,117 +366,16 @@ func (c *Campaign) Run() *Report {
 	// Drain any stragglers (late returns) without advancing phases.
 	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
 
-	c.finishReport(done, doneWeek)
+	c.t.finishReport(c.engine, done, doneWeek)
+	r := &c.t.report
+	r.MeanSpeedDown = c.pop.MeanSpeedDown()
+	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditPopulation(c.pop, c.ledger)
 	if !c.pooled {
 		// Release the run context: kernel, middleware, hosts, scratch. The
 		// returned report shares this struct, and a one-shot caller holding
 		// it must not keep the dead simulation's arenas live with it.
-		c.engine, c.server, c.pop, c.ledger = nil, nil, nil, nil
-		c.batches, c.order = nil, nil
-		c.weeklyCPU, c.weeklyCount = nil, nil
-		c.seenBits, c.ligScratch = nil, nil
+		c.engine, c.pop, c.ledger = nil, nil, nil
+		c.t.release()
 	}
-	return &c.report
-}
-
-func (c *Campaign) allDone() bool {
-	return c.next >= len(c.order) && c.outstanding == 0
-}
-
-func (c *Campaign) captureSnapshot(week float64) {
-	s := Snapshot{Week: week, PerBatch: make([]float64, len(c.order))}
-	var doneRef, totalRef float64
-	for i, bi := range c.order {
-		b := &c.batches[bi]
-		frac := 0.0
-		if b.cost > 0 {
-			frac = b.doneRef / b.cost
-			if frac > 1 {
-				frac = 1
-			}
-		}
-		s.PerBatch[i] = frac
-		if b.remaining == 0 {
-			s.BatchesDone++
-		}
-		doneRef += b.doneRef
-		totalRef += b.cost
-	}
-	if totalRef > 0 {
-		s.OverallFraction = doneRef / totalRef
-	}
-	c.report.Snapshots = append(c.report.Snapshots, s)
-}
-
-func (c *Campaign) finishReport(done bool, doneWeek float64) {
-	r := &c.report
-	r.Completed = done
-	r.ServerStats = c.server.Stats
-	r.MeanSpeedDown = c.pop.MeanSpeedDown()
-	r.EventsExecuted = c.engine.Executed()
-	r.PeakPending = c.engine.MaxPending()
-
-	if done {
-		r.WeeksElapsed = doneWeek
-	} else {
-		r.WeeksElapsed = c.cfg.MaxWeeks
-	}
-
-	// De-scale the weekly series to real units. The series buffers are
-	// reused when the campaign is pooled (reset keeps them in the report).
-	r.HCMDVFTP = resetSeries(r.HCMDVFTP, "hcmd-vftp")
-	r.ResultsWeek = resetSeries(r.ResultsWeek, "results-per-week")
-	r.GridVFTP = resetSeries(r.GridVFTP, "grid-vftp")
-	nWeeks := int(r.WeeksElapsed)
-	if nWeeks > len(c.weeklyCPU) {
-		nWeeks = len(c.weeklyCPU)
-	}
-	for w := 0; w < nWeeks; w++ {
-		v := vftp.FromCPU(c.weeklyCPU[w], 7*vftp.SecondsPerDay) / c.cfg.HostScale
-		r.HCMDVFTP.Add(float64(w), v)
-		r.ResultsWeek.Add(float64(w), float64(c.weeklyCount[w])/c.cfg.WorkScale)
-		r.GridVFTP.Add(float64(w), c.cfg.Grid.VFTPAt(CampaignStartWeek+float64(w)))
-	}
-	if r.HCMDVFTP.Len() > 0 {
-		r.AvgVFTPWhole = r.HCMDVFTP.YMean()
-		fp := r.HCMDVFTP.Window(c.cfg.ControlWeeks+c.cfg.RampWeeks, math.Inf(1))
-		if fp.Len() > 0 {
-			r.AvgVFTPFullPower = fp.YMean()
-		}
-	}
-	if r.ServerStats.Received > 0 {
-		r.MeanReportedH = r.ServerStats.CPUSeconds / float64(r.ServerStats.Received) / 3600
-	}
-
-	// Points accounting over the host fleet (§8): each device's benchmark
-	// score is the reference score divided by its hardware factor. The
-	// ledger's dense slices are reused across pooled runs.
-	ledger := c.ledger
-	for _, h := range c.pop.Hosts() {
-		ledger.Register(credit.Device{
-			ID:       h.ID,
-			Score:    credit.ReferenceScore / h.Hardware,
-			JoinedAt: h.JoinedAt,
-		})
-		if h.CPUSpent > 0 {
-			if _, err := ledger.Credit(credit.Result{Device: h.ID, ReportedS: h.CPUSpent, At: h.JoinedAt}); err != nil {
-				panic(err) // devices were just registered; cannot happen
-			}
-		}
-	}
-	r.PointsTotal = ledger.Total()
-	r.AccountingBias = ledger.AccountingBias()
-	if trend, _, ok := ledger.PowerTrend(); ok {
-		r.HardwareTrend = trend
-	}
-}
-
-// resetSeries empties s for reuse, creating it on a campaign's first run.
-func resetSeries(s *stats.Series, name string) *stats.Series {
-	if s == nil {
-		return stats.NewSeries(name)
-	}
-	s.Reset()
-	s.Name = name
-	return s
+	return r
 }

@@ -193,10 +193,10 @@ func TestShareSchedule(t *testing.T) {
 func TestLaunchOrderCheapestFirst(t *testing.T) {
 	cfg := testConfig(t, 1.0/168)
 	c := New(cfg)
-	c.prepare()
+	c.t.prepare()
 	prev := -1.0
-	for _, bi := range c.order {
-		cost := c.batches[bi].cost
+	for _, bi := range c.t.order {
+		cost := c.t.batches[bi].cost
 		if cost < prev-1e-9 {
 			t.Fatal("batches not in ascending cost order")
 		}
@@ -208,8 +208,8 @@ func TestLaunchOrderCostliestFirst(t *testing.T) {
 	cfg := testConfig(t, 1.0/168)
 	cfg.Order = CostliestFirst
 	c := New(cfg)
-	c.prepare()
-	if c.batches[c.order[0]].cost < c.batches[c.order[len(c.order)-1]].cost {
+	c.t.prepare()
+	if c.t.batches[c.t.order[0]].cost < c.t.batches[c.t.order[len(c.t.order)-1]].cost {
 		t.Fatal("costliest-first order wrong")
 	}
 }
@@ -218,11 +218,11 @@ func TestLaunchOrderRandomDeterministic(t *testing.T) {
 	cfg := testConfig(t, 1.0/168)
 	cfg.Order = RandomOrder
 	a := New(cfg)
-	a.prepare()
+	a.t.prepare()
 	b := New(cfg)
-	b.prepare()
-	for i := range a.order {
-		if a.order[i] != b.order[i] {
+	b.t.prepare()
+	for i := range a.t.order {
+		if a.t.order[i] != b.t.order[i] {
 			t.Fatal("random order not seed-deterministic")
 		}
 	}
@@ -232,11 +232,11 @@ func TestWorkScaleConservation(t *testing.T) {
 	// Total released work at scale s must be ≈ s × full total.
 	cfg := testConfig(t, 1.0/168)
 	c := New(cfg)
-	c.prepare()
+	c.t.prepare()
 	full := cfg.M.TotalWork(cfg.DS)
 	want := full / 168
-	if math.Abs(c.report.TotalRefWork-want)/want > 0.25 {
-		t.Fatalf("scaled work %.3g, want ≈ %.3g", c.report.TotalRefWork, want)
+	if math.Abs(c.t.report.TotalRefWork-want)/want > 0.25 {
+		t.Fatalf("scaled work %.3g, want ≈ %.3g", c.t.report.TotalRefWork, want)
 	}
 }
 

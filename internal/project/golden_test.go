@@ -1,0 +1,54 @@
+package project
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Golden report hashes of the single-project determinism configuration,
+// recorded BEFORE the shared-grid refactor (PR 5) on the commit where
+// Campaign still bound Population straight to one *wcg.Server. The
+// multi-project work-fetch layer must leave the single-project path
+// byte-identical — fresh and pooled — so these constants are the
+// regression anchor: if either hash moves, the refactor changed the
+// simulation, not just its structure.
+//
+// The hashes cover the JSON rendering of renderReport (Config zeroed) for
+// determinismConfig seeds 777 and 778. They are tied to the generator's
+// float stream (go1.24 linux/amd64 at record time); the cross-checks
+// fresh==pooled and seed-777≠seed-778 hold regardless of toolchain.
+const (
+	goldenSeed777 = "ca45515b87e266fd501c3adcf580628e24959ea1d590b03f50d52d932eeb8766"
+	goldenSeed778 = "03cc73a2f201b86ed1a54facc33286cb05c8d5652c0f8aaf5fa4b821d3c15ee6"
+)
+
+func reportHash(t *testing.T, rep *Report) string {
+	t.Helper()
+	sum := sha256.Sum256(renderReport(t, rep))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenSingleProjectFresh pins the fresh-run report bytes to the
+// pre-refactor golden hashes.
+func TestGoldenSingleProjectFresh(t *testing.T) {
+	if got := reportHash(t, New(determinismConfig(t, 777)).Run()); got != goldenSeed777 {
+		t.Errorf("fresh seed-777 report hash = %s, want golden %s (single-project byte-identity broken)", got, goldenSeed777)
+	}
+	if got := reportHash(t, New(determinismConfig(t, 778)).Run()); got != goldenSeed778 {
+		t.Errorf("fresh seed-778 report hash = %s, want golden %s (single-project byte-identity broken)", got, goldenSeed778)
+	}
+}
+
+// TestGoldenSingleProjectPooled pins the pooled (Runner reuse) path to the
+// same golden hashes, with the arenas dirtied by a different run first.
+func TestGoldenSingleProjectPooled(t *testing.T) {
+	runner := NewRunner()
+	runner.Run(determinismConfig(t, 778)) // dirty every arena
+	if got := reportHash(t, runner.Run(determinismConfig(t, 777))); got != goldenSeed777 {
+		t.Errorf("pooled seed-777 report hash = %s, want golden %s (pooled byte-identity broken)", got, goldenSeed777)
+	}
+	if got := reportHash(t, runner.Run(determinismConfig(t, 778))); got != goldenSeed778 {
+		t.Errorf("pooled seed-778 report hash = %s, want golden %s (pooled byte-identity broken)", got, goldenSeed778)
+	}
+}

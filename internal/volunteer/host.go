@@ -33,6 +33,19 @@
 // init, so pooled hosts (see the Reset contract below) resample it
 // exactly as fresh hosts would.
 //
+// # Multi-project work fetch
+//
+// A host talks to the project side through the WorkSource interface
+// (worksource.go). A single-project population binds the *wcg.Server
+// directly — byte-identical to the pre-interface code. On a shared
+// multi-project grid (NewMuxPopulation) every host instead owns a MuxPort
+// over the shared Mux attachment table (mux.go): each fetch goes to the
+// attached project the host owes the most time to under BOINC-style
+// short-term debt, with per-host seeded tie-breaks, so every project
+// receives its configured resource share of each host's time and an idle
+// project yields its slice. The port lives inside the Host struct and is
+// re-armed in place when a pooled host respawns.
+//
 // # Reset contract
 //
 // Population.Reset rearms a population for another run on the same
@@ -158,7 +171,8 @@ type Host struct {
 
 	cfg    HostConfig
 	engine *sim.Engine
-	server *wcg.Server
+	server WorkSource // single-project: the *wcg.Server itself; multi: &h.port
+	port   MuxPort    // by value: a pooled host re-arms it in place, no allocation
 	src    rng.Source // by value: a pooled host reseeds in place, no allocation
 
 	// Effective behavior, resolved at init from the flat config or the
@@ -196,8 +210,10 @@ type Host struct {
 // NewHost creates a host with behaviour sampled from cfg. It does not start
 // requesting work until Start is called. The host copies r's state and
 // draws from its own embedded stream from then on; the caller must not
-// keep drawing from r on the host's behalf.
-func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *rng.Source) *Host {
+// keep drawing from r on the host's behalf. server is usually a
+// *wcg.Server bound directly; a multi-project population instead gives
+// each host its own mux port (see Population).
+func NewHost(id int, engine *sim.Engine, server WorkSource, cfg HostConfig, r *rng.Source) *Host {
 	h := &Host{src: *r}
 	h.requestFn = h.requestWork
 	h.taskDoneFn = h.taskDone
@@ -212,7 +228,7 @@ func NewHost(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *
 // The requestFn/taskDoneFn method values are bound once per struct (in
 // NewHost or Population spawn) and stay valid across reinitializations —
 // they close over the receiver pointer, which does not change.
-func (h *Host) init(id int, engine *sim.Engine, server *wcg.Server, cfg HostConfig) {
+func (h *Host) init(id int, engine *sim.Engine, server WorkSource, cfg HostConfig) {
 	if cfg.MeanSpeedDown <= 0 {
 		panic("volunteer: mean speed-down must be positive")
 	}
@@ -300,6 +316,15 @@ func (h *Host) Stopped() bool { return h.stopped }
 
 // Busy reports whether the host is computing a task right now.
 func (h *Host) Busy() bool { return h.busy }
+
+// Port returns the host's work-fetch mux port, or nil when the host is
+// bound to a single project server directly.
+func (h *Host) Port() *MuxPort {
+	if h.port.mux == nil {
+		return nil
+	}
+	return &h.port
+}
 
 func (h *Host) requestWork() {
 	if h.stopped {

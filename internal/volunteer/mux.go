@@ -1,0 +1,177 @@
+package volunteer
+
+import (
+	"repro/internal/rng"
+	"repro/internal/wcg"
+)
+
+// Mux is the host-side work-fetch multiplexer of a multi-project grid: the
+// shared attachment table mapping project index → (server, resource share).
+// It models what BOINC calls resource-share scheduling — every volunteer
+// host splits its compute time across the projects it is attached to in
+// proportion to their shares — except that here the arbitration lives in
+// one place instead of in every agent's config file.
+//
+// The Mux itself holds no per-host state: each host owns a MuxPort, which
+// carries that host's short-term debt vector and seeded tie-break stream.
+// Attachment order is project identity — Attach stamps the server with its
+// index, and every Assignment the server issues carries that index, which
+// is how a port routes completions back to the right project.
+//
+// Determinism: attachments are fixed before the first host spawns; ports
+// draw only from their own streams. The whole layer is a pure function of
+// (attachment table, host seeds, event order), so multi-project runs are
+// as reproducible as single-project ones.
+type Mux struct {
+	atts []attachment
+}
+
+type attachment struct {
+	server *wcg.Server
+	weight float64 // configured (raw) share
+	share  float64 // normalized: Σ share = 1
+}
+
+// NewMux returns an empty multiplexer; Attach the project servers before
+// any host spawns.
+func NewMux() *Mux { return &Mux{} }
+
+// Attach registers a project server under the given resource share (any
+// positive weight; shares are normalized to sum to 1 across attachments)
+// and returns its project index. The server is stamped with the index so
+// its assignments route back through the ports.
+func (m *Mux) Attach(s *wcg.Server, share float64) int {
+	if s == nil {
+		panic("volunteer: Attach(nil server)")
+	}
+	if share <= 0 {
+		panic("volunteer: resource share must be positive")
+	}
+	idx := len(m.atts)
+	s.SetProject(idx)
+	m.atts = append(m.atts, attachment{server: s, weight: share})
+	var sum float64
+	for i := range m.atts {
+		sum += m.atts[i].weight
+	}
+	for i := range m.atts {
+		m.atts[i].share = m.atts[i].weight / sum
+	}
+	return idx
+}
+
+// Reset drops all attachments so a pooled grid can re-attach its (freshly
+// reset) servers for the next run. The backing array is retained.
+func (m *Mux) Reset() { m.atts = m.atts[:0] }
+
+// Projects returns the number of attached project servers.
+func (m *Mux) Projects() int { return len(m.atts) }
+
+// Share returns project i's normalized resource share (Σ over projects = 1).
+func (m *Mux) Share(i int) float64 { return m.atts[i].share }
+
+// Server returns project i's server.
+func (m *Mux) Server(i int) *wcg.Server { return m.atts[i].server }
+
+// MuxPort is one host's view of the multiplexed grid: a WorkSource that
+// arbitrates each fetch across the attached projects by short-term debt.
+//
+// Debt is the BOINC short-term-debt rule in reference seconds: when a fetch
+// takes an assignment of w reference seconds from project c, every project
+// currently offering work is credited its share of w (shares renormalized
+// over the offering projects, so an idle tenant yields its slice instead of
+// banking claim on the future), and c is debited the full w. Debts
+// therefore always sum to zero per host, the next fetch goes to the
+// highest-debt project with work, and ties break by the port's own seeded
+// stream — deterministic, independent of other hosts.
+type MuxPort struct {
+	mux  *Mux
+	debt []float64
+	r    rng.Source
+}
+
+// init (re)arms a port for a (possibly recycled) host: debts zeroed, the
+// tie-break stream reseeded. The debt vector's backing array is reused.
+func (p *MuxPort) init(m *Mux, seed uint64) {
+	p.mux = m
+	rng.NewInto(&p.r, seed)
+	n := len(m.atts)
+	if cap(p.debt) < n {
+		p.debt = make([]float64, n)
+	} else {
+		p.debt = p.debt[:n]
+		clear(p.debt)
+	}
+}
+
+// Debts returns a copy of the port's per-project short-term debts
+// (diagnostics and invariant tests; the hot path never calls it).
+func (p *MuxPort) Debts() []float64 {
+	out := make([]float64, len(p.debt))
+	copy(out, p.debt)
+	return out
+}
+
+// RequestWork fetches one assignment from the attached project this host
+// owes the most time to, among those with work available. Returns nil when
+// no attached project has work.
+func (p *MuxPort) RequestWork() *wcg.Assignment {
+	atts := p.mux.atts
+	best, ties := -1, 0
+	var bestDebt float64
+	for i := range atts {
+		if !atts[i].server.HasWork() {
+			continue
+		}
+		d := p.debt[i]
+		switch {
+		case best < 0 || d > bestDebt:
+			best, bestDebt, ties = i, d, 1
+		case d == bestDebt:
+			// Seeded reservoir tie-break: each tied project wins with
+			// equal probability, deterministically in the port's stream.
+			ties++
+			if p.r.Uint64()%uint64(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	a := atts[best].server.RequestWork()
+	if a == nil {
+		return nil // HasWork raced a reentrant drain; treat as idle
+	}
+	// Short-term debt update over the projects that were offering work:
+	// renormalize their shares, credit each its slice of the fetched
+	// reference seconds, debit the chosen project in full. Zero-sum.
+	w := a.WU.WU.RefSeconds
+	var offered float64
+	for i := range atts {
+		if i == best || atts[i].server.HasWork() {
+			offered += atts[i].share
+		}
+	}
+	for i := range atts {
+		if i == best || atts[i].server.HasWork() {
+			p.debt[i] += atts[i].share / offered * w
+		}
+	}
+	p.debt[best] -= w
+	return a
+}
+
+// CompleteFrom routes the finished assignment back to the project server
+// that issued it.
+func (p *MuxPort) CompleteFrom(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds float64, host int) {
+	p.mux.atts[a.Project()].server.CompleteFrom(a, outcome, cpuSeconds, host)
+}
+
+// DeadlineFor returns the assignment's class deadline on the server that
+// issued it.
+func (p *MuxPort) DeadlineFor(a *wcg.Assignment) float64 {
+	return p.mux.atts[a.Project()].server.DeadlineFor(a)
+}
+
+var _ WorkSource = (*MuxPort)(nil)

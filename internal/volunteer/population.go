@@ -3,7 +3,6 @@ package volunteer
 import (
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/wcg"
 )
 
 // Population manages the set of volunteer hosts working for one project and
@@ -13,7 +12,8 @@ import (
 // constant share of a growing grid.
 type Population struct {
 	engine *sim.Engine
-	server *wcg.Server
+	server WorkSource // single-project: every host binds this directly
+	mux    *Mux       // multi-project: every host gets its own port
 	cfg    HostConfig
 	r      *rng.Source
 
@@ -28,9 +28,23 @@ type Population struct {
 	poolNext int
 }
 
-// NewPopulation creates an empty population.
-func NewPopulation(engine *sim.Engine, server *wcg.Server, cfg HostConfig, r *rng.Source) *Population {
+// NewPopulation creates an empty population whose hosts all work for the
+// one project behind server (normally a *wcg.Server, bound directly: the
+// pre-multiplexer fast path, byte-identical to it).
+func NewPopulation(engine *sim.Engine, server WorkSource, cfg HostConfig, r *rng.Source) *Population {
 	return &Population{engine: engine, server: server, cfg: cfg, r: r}
+}
+
+// NewMuxPopulation creates an empty population on a shared multi-project
+// grid: every spawned host draws one extra seed for its own MuxPort, which
+// arbitrates the host's work fetches across the mux's attached project
+// servers by resource share. The mux must hold its attachments before the
+// first SetTarget call.
+func NewMuxPopulation(engine *sim.Engine, mux *Mux, cfg HostConfig, r *rng.Source) *Population {
+	if mux == nil {
+		panic("volunteer: NewMuxPopulation(nil mux)")
+	}
+	return &Population{engine: engine, mux: mux, cfg: cfg, r: r}
 }
 
 // Reset rearms the population for another run on the same (freshly reset)
@@ -48,9 +62,16 @@ func (p *Population) Reset(cfg HostConfig, r *rng.Source) {
 
 // spawn creates (or recycles) one host seeded from the population stream.
 // The seed derivation matches what NewHost(..., p.r.Split()) produced
-// before pooling existed, so populations are bit-for-bit reproducible.
+// before pooling existed, so populations are bit-for-bit reproducible. On
+// a multiplexed grid one extra draw seeds the host's port; a single-project
+// population draws nothing extra, keeping its stream byte-identical to the
+// pre-multiplexer code.
 func (p *Population) spawn() *Host {
 	seed := p.r.Uint64()
+	var portSeed uint64
+	if p.mux != nil {
+		portSeed = p.r.Uint64()
+	}
 	var h *Host
 	if p.poolNext < len(p.pool) {
 		h = p.pool[p.poolNext]
@@ -62,7 +83,14 @@ func (p *Population) spawn() *Host {
 		h.taskDoneFn = h.taskDone
 	}
 	rng.NewInto(&h.src, seed)
-	h.init(p.nextID, p.engine, p.server, p.cfg)
+	source := p.server
+	if p.mux != nil {
+		h.port.init(p.mux, portSeed)
+		source = &h.port
+	} else {
+		h.port.mux = nil // a recycled host may have been multiplexed before
+	}
+	h.init(p.nextID, p.engine, source, p.cfg)
 	p.nextID++
 	p.hosts = append(p.hosts, h)
 	p.active++

@@ -1,0 +1,34 @@
+package volunteer
+
+import "repro/internal/wcg"
+
+// WorkSource is what a volunteer host needs from the project side of the
+// grid: a place to fetch work from, report results to, and ask deadlines
+// of. A single-project population binds a *wcg.Server here directly — the
+// host's fetch-compute-report loop then behaves exactly as it did before
+// the interface existed (same calls, same order, no extra random draws, no
+// allocation), which is what keeps single-project runs byte-identical to
+// the pre-multiplexer golden hashes. A multi-project population instead
+// binds each host its own *MuxPort (see Mux), which arbitrates every
+// request across the attached project servers.
+//
+// Determinism contract: an implementation must be a pure function of the
+// simulation state and its own seeded stream — no wall clock, no map
+// iteration, no shared mutable state across hosts that depends on event
+// arrival races. The discrete-event engine serializes all calls, so
+// implementations need no locking.
+type WorkSource interface {
+	// RequestWork hands out one assignment, or nil when no attached
+	// project has work available.
+	RequestWork() *wcg.Assignment
+	// CompleteFrom reports a finished assignment back to the server that
+	// issued it. host is the reporting device's identity (for per-host
+	// validation trust); negative means anonymous.
+	CompleteFrom(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds float64, host int)
+	// DeadlineFor returns the reissue deadline of the assignment's
+	// deadline class on the server that issued it.
+	DeadlineFor(a *wcg.Assignment) float64
+}
+
+// The production server satisfies WorkSource by construction.
+var _ WorkSource = (*wcg.Server)(nil)

@@ -186,7 +186,13 @@ type Assignment struct {
 	IssuedAt sim.Time
 	returned bool
 	class    uint8 // deadline class (wheel index); 0 under UniformDeadline
+	proj     uint8 // issuing server's project index (multi-project grids)
 }
+
+// Project returns the project index of the server that issued this
+// assignment (see Server.SetProject). 0 on a standalone server — the
+// hook a multi-project work-fetch multiplexer routes completions by.
+func (a *Assignment) Project() int { return int(a.proj) }
 
 // wheel is one deadline class's exact timeout ring: assignments in issue
 // order, drained by one re-armed engine event. Returned/completed copies
@@ -203,6 +209,7 @@ type wheel struct {
 type Server struct {
 	cfg    Config
 	engine *sim.Engine
+	proj   uint8 // project identity stamped on every issued assignment
 
 	// Work pool shared by the FIFO/LIFO/random schedulers; the
 	// batch-priority scheduler uses the buckets below instead.
@@ -289,6 +296,23 @@ func checkConfig(cfg Config) {
 	}
 }
 
+// SetProject stamps the server with its project identity on a shared
+// multi-project grid: every assignment it issues from now on carries the
+// index (Assignment.Project), which is how a work-fetch multiplexer routes
+// a host's completions back to the issuing tenant. A standalone server
+// keeps the zero identity. Work availability itself needs no extra hook:
+// HasWork is an O(1) incrementally-maintained counter, so the multiplexer
+// polls it per fetch and an idle tenant yields its slice immediately.
+func (s *Server) SetProject(id int) {
+	if id < 0 || id > 255 {
+		panic("wcg: project index out of range [0,255]")
+	}
+	s.proj = uint8(id)
+}
+
+// Project returns the identity set by SetProject (0 when standalone).
+func (s *Server) Project() int { return int(s.proj) }
+
 // Retain switches the server to retained (arena) allocation: object
 // chunks survive Reset and are re-carved by the next run. Pooled run
 // contexts call it right after NewServer, before the first workunit is
@@ -321,6 +345,7 @@ func (s *Server) Reset(cfg Config) {
 	checkConfig(cfg)
 	s.cfg = cfg
 	s.retain = true
+	s.proj = 0 // a pooled grid re-attaches (and re-stamps) after Reset
 	s.wuChunk, s.asChunk = nil, nil
 	clear(s.queue)
 	s.queue = s.queue[:0]
@@ -500,6 +525,7 @@ func (s *Server) RequestWork() *Assignment {
 	a := s.allocAssignment()
 	a.WU = st
 	a.IssuedAt = s.engine.Now()
+	a.proj = s.proj
 	if s.classFn != nil {
 		a.class = s.classFn(st)
 	}
