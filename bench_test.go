@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/forecast"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/protein"
 	"repro/internal/stats"
@@ -136,6 +138,20 @@ func BenchmarkCampaignFullScale(b *testing.B) {
 // recorded per PR by the benchmark smoke job.
 func BenchmarkCampaignCI(b *testing.B) {
 	benchCampaign(b, "BenchmarkCampaignCI", system().CampaignConfig(ciBenchScale, 0), benchLabel())
+}
+
+// BenchmarkCampaignCIInstrumented is BenchmarkCampaignCI with the whole
+// observability plane armed: the metrics registry sampling every series on
+// the default cadence plus the run trace streaming to a discarded sink.
+// CI records both rows and gates this one's wall time at +5 % of the bare
+// row (benchgate -overhead), pinning the plane's enabled cost.
+func BenchmarkCampaignCIInstrumented(b *testing.B) {
+	cfg := system().CampaignConfig(ciBenchScale, 0)
+	cfg.Probe = &obs.Probe{
+		Metrics: obs.NewRegistry(0),
+		Trace:   obs.NewTrace(obs.NewSink(io.Discard)),
+	}
+	benchCampaign(b, "BenchmarkCampaignCIInstrumented", cfg, benchLabel())
 }
 
 // BenchmarkCampaignGrid10x is the grid-growth scale milestone: the full

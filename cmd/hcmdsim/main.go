@@ -6,6 +6,8 @@
 // Usage:
 //
 //	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S] [-coshare F]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-metrics FILE] [-trace FILE] [-sample-every S]
 //
 // The default scale (1/84) finishes in seconds; -scale 1 simulates the full
 // 3.9-million-workunit campaign (minutes, several GB of events).
@@ -15,16 +17,26 @@
 // holding 1−F, then recomputes the §7 member arithmetic from the measured
 // share next to the assumed one — the Table 3 grid-share assumption
 // cross-validated by simulation instead of taken as a constant.
+//
+// -cpuprofile / -memprofile write pprof files covering the run, the same
+// profiling loop cmd/sweep has. -metrics / -trace attach the observability
+// probe to the campaign simulation and stream its sim-time metric samples
+// and structured run-trace events as NDJSON; the probe is run-neutral, so
+// an instrumented campaign prints exactly the tables a bare one does.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/report"
 )
@@ -36,6 +48,11 @@ func main() {
 	fig1Days := flag.Int("fig1days", 3*364, "days of grid history for Figure 1")
 	seed := flag.Uint64("seed", 0, "campaign seed (0 = the deployed default)")
 	coshare := flag.Float64("coshare", 0, "co-run HCMD at this grid share against a phase-II co-project and cross-validate the §7 share assumption (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
+	metricsPath := flag.String("metrics", "", "write campaign metric samples (NDJSON) to this file")
+	tracePath := flag.String("trace", "", "write campaign run-trace events (NDJSON) to this file")
+	sampleEvery := flag.Float64("sample-every", 0, "metrics sampling cadence in sim seconds (0 = half a sim day)")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
@@ -45,6 +62,34 @@ func main() {
 	if *coshare < 0 || *coshare >= 1 {
 		fmt.Fprintln(os.Stderr, "hcmdsim: -coshare must be in (0, 1)")
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcmdsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hcmdsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hcmdsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the live set so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hcmdsim: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	sys := core.NewHCMD()
@@ -76,7 +121,17 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	probe, flushObs, perr := openProbe(*metricsPath, *tracePath, *sampleEvery)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "hcmdsim: %v\n", perr)
+		os.Exit(1)
+	}
+	cfg.Probe = probe
 	rep := project.New(cfg).Run()
+	if err := flushObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "hcmdsim: observability output: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("completed: %v in %.0f weeks (paper: 26)\n", rep.Completed, rep.WeeksElapsed)
 	fmt.Printf("results received: %s (distinct %s) — redundancy %.2f (paper 1.37), useful %.0f%% (paper 73%%)\n",
 		report.Comma(float64(rep.ServerStats.Received) / *scale),
@@ -141,6 +196,68 @@ func main() {
 		}
 		fmt.Printf("\nCSV series written to %s\n", *outdir)
 	}
+}
+
+// openProbe builds the -metrics/-trace observability probe for the single
+// campaign run. The returned flush writes the collected metric samples,
+// then flushes and closes the files; both probe and flush are no-op when
+// neither path is set.
+func openProbe(metricsPath, tracePath string, sampleEvery float64) (*obs.Probe, func() error, error) {
+	if metricsPath == "" && tracePath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var (
+		files []*os.File
+		bufs  []*bufio.Writer
+		sinks []*obs.Sink
+	)
+	open := func(path string) (*obs.Sink, error) {
+		if path == "" {
+			return nil, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		s := obs.NewSink(bw)
+		files, bufs, sinks = append(files, f), append(bufs, bw), append(sinks, s)
+		return s, nil
+	}
+	msink, err := open(metricsPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-metrics: %w", err)
+	}
+	tsink, err := open(tracePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trace: %w", err)
+	}
+	p := &obs.Probe{SampleEvery: sampleEvery}
+	if msink != nil {
+		p.Metrics = obs.NewRegistry(0)
+	}
+	if tsink != nil {
+		p.Trace = obs.NewTrace(tsink)
+	}
+	flush := func() error {
+		if p.Metrics != nil {
+			p.Metrics.WriteNDJSON(msink)
+		}
+		var first error
+		for i := range bufs {
+			if e := bufs[i].Flush(); e != nil && first == nil {
+				first = e
+			}
+			if e := files[i].Close(); e != nil && first == nil {
+				first = e
+			}
+			if e := sinks[i].Err(); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}
+	return p, flush, nil
 }
 
 // writeCSVs emits one CSV per figure.

@@ -10,8 +10,9 @@
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
 //	      [-adaptive-streak N] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-metrics FILE] [-trace FILE] [-progress D] [-sample-every S]
 //	sweep -corun [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
-//	      [-seed N] [-out DIR]
+//	      [-seed N] [-out DIR] [-metrics FILE] [-trace FILE] [-progress D]
 //
 // Examples:
 //
@@ -38,9 +39,18 @@
 // sweep.csv (per-scenario mean/std/ci95 rows). With -cpuprofile /
 // -memprofile it writes pprof files covering the whole sweep, so perf
 // work on the simulator is profile-driven (go tool pprof cpu.out).
+//
+// The observability plane rides along on three flags: -metrics FILE streams
+// every cell's sim-time metric samples as NDJSON, -trace FILE streams the
+// structured run-trace events (phase transitions, batch feeds, quorum
+// switches, saboteur onsets...), and -progress D prints a live telemetry
+// ticker (throughput, ETA, memory) every D of wall time, also appended to
+// the metrics NDJSON as event=sweep-telemetry lines. Probes are run-neutral:
+// instrumented cells produce byte-identical metrics to bare ones.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -50,10 +60,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/report"
 	"repro/internal/wcg"
@@ -66,7 +78,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	list := flag.Bool("list", false, "print the scenario catalogs and exit")
 	corun := flag.Bool("corun", false, "sweep the multi-project co-run catalog instead of the single-project one")
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
@@ -84,6 +96,10 @@ func run() error {
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
+	metricsPath := flag.String("metrics", "", "write per-cell sim-time metric samples (NDJSON) to this file")
+	tracePath := flag.String("trace", "", "write structured run-trace events (NDJSON) to this file")
+	progressEvery := flag.Duration("progress", 0, "print a live telemetry line at this wall-clock interval (e.g. 5s; 0 = off)")
+	sampleEvery := flag.Float64("sample-every", 0, "metrics sampling cadence in sim seconds (0 = half a sim day)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -128,8 +144,18 @@ func run() error {
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("-scale must be in (0, 1], got %v", *scale)
 	}
+	msink, tsink, closeSinks, serr := openSinks(*metricsPath, *tracePath)
+	if serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := closeSinks(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if *corun {
-		return runCoRuns(*scenarios, *reps, *workers, *scale, *seed, *out, *quiet)
+		return runCoRuns(*scenarios, *reps, *workers, *scale, *seed, *out, *quiet,
+			msink, tsink, *sampleEvery, *progressEvery)
 	}
 
 	selected, err := experiment.Select(*scenarios)
@@ -165,24 +191,32 @@ func run() error {
 		return err
 	}
 	start := time.Now()
+	tracker := experiment.NewTracker(total)
+	stopTicker := startTicker(tracker, *progressEvery, msink)
+	defer stopTicker()
 	opts := experiment.Options{
-		Base:       base,
-		Scenarios:  selected,
-		Reps:       *reps,
-		Workers:    *workers,
-		BaseSeed:   *seed,
-		Checkpoint: ckpt,
+		Base:        base,
+		Scenarios:   selected,
+		Reps:        *reps,
+		Workers:     *workers,
+		BaseSeed:    *seed,
+		Checkpoint:  ckpt,
+		MetricsSink: msink,
+		TraceSink:   tsink,
+		SampleEvery: *sampleEvery,
 	}
-	if !*quiet {
-		opts.Progress = func(p experiment.Progress) {
-			tag := ""
-			if p.Resumed {
-				tag = " (resumed)"
-			}
-			fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, redundancy %.2f%s\n",
-				p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
-				p.Result.Metrics.MakespanWeeks, p.Result.Metrics.Redundancy, tag)
+	opts.Progress = func(p experiment.Progress) {
+		tracker.Observe(p.WallSeconds)
+		if *quiet {
+			return
 		}
+		tag := ""
+		if p.Resumed {
+			tag = " (resumed)"
+		}
+		fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, redundancy %.2f%s\n",
+			p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
+			p.Result.Metrics.MakespanWeeks, p.Result.Metrics.Redundancy, tag)
 	}
 	sweep, err := sys.RunExperiments(ctx, *scale, *hours, opts)
 	if err != nil {
@@ -193,9 +227,11 @@ func run() error {
 		}
 		return err
 	}
+	stopTicker()
 
 	fmt.Fprintf(os.Stderr, "done: %d runs (%d resumed) in %.1fs\n",
 		len(sweep.Results), sweep.Resumed, time.Since(start).Seconds())
+	printSummary(tracker)
 	fmt.Print(experiment.Table(sweep.Aggregates).String())
 
 	if *out != "" {
@@ -210,7 +246,8 @@ func run() error {
 // runCoRuns executes the multi-project sweep: co-run scenarios ×
 // replications through pooled GridRunners, aggregated on measured-share
 // fidelity.
-func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, out string, quiet bool) error {
+func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, out string, quiet bool,
+	msink, tsink *obs.Sink, sampleEvery float64, progressEvery time.Duration) error {
 	selected, err := experiment.GridSelect(scenarios)
 	if err != nil {
 		return err
@@ -227,19 +264,27 @@ func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, 
 		len(selected), reps, total, nWorkers, scale)
 
 	sys := core.NewHCMD()
+	tracker := experiment.NewTracker(total)
+	stopTicker := startTicker(tracker, progressEvery, msink)
+	defer stopTicker()
 	opts := experiment.GridOptions{
-		Base:      sys.SharedGridConfig(2, scale, nil),
-		Scenarios: selected,
-		Reps:      reps,
-		Workers:   workers,
-		BaseSeed:  seed,
+		Base:        sys.SharedGridConfig(2, scale, nil),
+		Scenarios:   selected,
+		Reps:        reps,
+		Workers:     workers,
+		BaseSeed:    seed,
+		MetricsSink: msink,
+		TraceSink:   tsink,
+		SampleEvery: sampleEvery,
 	}
-	if !quiet {
-		opts.Progress = func(p experiment.GridProgress) {
-			fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, max share err %.4f\n",
-				p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
-				p.Result.Metrics.MakespanWeeks, p.Result.Metrics.MaxShareError)
+	opts.Progress = func(p experiment.GridProgress) {
+		tracker.Observe(p.WallSeconds)
+		if quiet {
+			return
 		}
+		fmt.Fprintf(os.Stderr, "[%3d/%d] %-20s rep %d: %.1f weeks, max share err %.4f\n",
+			p.Done, p.Total, p.Result.Scenario, p.Result.Rep,
+			p.Result.Metrics.MakespanWeeks, p.Result.Metrics.MaxShareError)
 	}
 	start := time.Now()
 	sweep, err := experiment.RunGrid(ctx, opts)
@@ -250,7 +295,9 @@ func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, 
 		}
 		return err
 	}
+	stopTicker()
 	fmt.Fprintf(os.Stderr, "done: %d co-runs in %.1fs\n", len(sweep.Results), time.Since(start).Seconds())
+	printSummary(tracker)
 	fmt.Print(experiment.GridTable(sweep.Aggregates, sweep.Results).String())
 
 	if out != "" {
@@ -267,6 +314,97 @@ func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, 
 		fmt.Fprintf(os.Stderr, "gridsweep.json written to %s\n", out)
 	}
 	return nil
+}
+
+// openSinks opens the optional -metrics / -trace NDJSON outputs. Either
+// path may be empty (that sink stays nil and the plane stays off). The
+// returned close function flushes the buffers and surfaces the first write
+// error; it is safe to call when neither file was opened.
+func openSinks(metricsPath, tracePath string) (metrics, trace *obs.Sink, close func() error, err error) {
+	var (
+		files []*os.File
+		bufs  []*bufio.Writer
+		sinks []*obs.Sink
+	)
+	open := func(path string) (*obs.Sink, error) {
+		if path == "" {
+			return nil, nil
+		}
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return nil, ferr
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		s := obs.NewSink(bw)
+		files = append(files, f)
+		bufs = append(bufs, bw)
+		sinks = append(sinks, s)
+		return s, nil
+	}
+	closeAll := func() error {
+		var first error
+		for i := range bufs {
+			if e := bufs[i].Flush(); e != nil && first == nil {
+				first = e
+			}
+			if e := files[i].Close(); e != nil && first == nil {
+				first = e
+			}
+			if e := sinks[i].Err(); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}
+	if metrics, err = open(metricsPath); err != nil {
+		return nil, nil, closeAll, fmt.Errorf("-metrics: %w", err)
+	}
+	if trace, err = open(tracePath); err != nil {
+		closeAll()
+		return nil, nil, func() error { return nil }, fmt.Errorf("-trace: %w", err)
+	}
+	return metrics, trace, closeAll, nil
+}
+
+// startTicker launches the -progress telemetry loop: a human-readable
+// snapshot on stderr every interval, mirrored onto the metrics sink as an
+// event=sweep-telemetry NDJSON line. The returned stop function is
+// idempotent; with a non-positive interval it is a no-op.
+func startTicker(tr *experiment.Tracker, every time.Duration, metrics *obs.Sink) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	tick := time.NewTicker(every)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t := tr.Snapshot()
+				fmt.Fprintln(os.Stderr, t.String())
+				if metrics != nil {
+					metrics.WriteLine(obs.Line(t.Fields()...))
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			tick.Stop()
+			close(done)
+		})
+	}
+}
+
+// printSummary emits the end-of-sweep resource line: cell throughput and
+// process memory, so even a -q run leaves a one-line wall-time record.
+func printSummary(tr *experiment.Tracker) {
+	t := tr.Snapshot()
+	fmt.Fprintf(os.Stderr, "summary: %d cells in %.1fs, %.2f cells/s, mean cell %.2fs, %.1f MB sys (peak RSS), %.1f MB allocated\n",
+		t.Done, t.ElapsedSeconds, t.CellsPerSec, t.MeanCellSeconds, t.SysMB, t.TotalAllocMB)
 }
 
 // applyPolicies resolves the -scheduler/-validator flags onto the base

@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/report"
 )
@@ -190,6 +192,11 @@ type GridProgress struct {
 	Done   int
 	Total  int
 	Result GridRunResult
+
+	// Live telemetry (wall clock, not sim time), as in Progress.
+	WallSeconds float64
+	CellsPerSec float64
+	ETASeconds  float64
 }
 
 // GridOptions parameterizes a co-run sweep. There is no checkpoint path:
@@ -210,6 +217,12 @@ type GridOptions struct {
 	BaseSeed uint64
 
 	Progress func(GridProgress)
+
+	// MetricsSink / TraceSink / SampleEvery mirror Options: per-worker obs
+	// probes over shared sinks, re-tagged per cell.
+	MetricsSink *obs.Sink
+	TraceSink   *obs.Sink
+	SampleEvery float64
 }
 
 // GridSweep is a completed co-run sweep.
@@ -331,13 +344,19 @@ func RunGrid(ctx context.Context, opts GridOptions) (*GridSweep, error) {
 		mu   sync.Mutex
 		done int
 	)
-	finish := func(i int, res GridRunResult) {
+	start := time.Now()
+	finish := func(i int, res GridRunResult, wall float64) {
 		mu.Lock()
 		defer mu.Unlock()
 		results[i] = res
 		done++
 		if opts.Progress != nil {
-			opts.Progress(GridProgress{Done: done, Total: total, Result: res})
+			p := GridProgress{Done: done, Total: total, Result: res, WallSeconds: wall}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				p.CellsPerSec = float64(done) / elapsed
+				p.ETASeconds = float64(total-done) / p.CellsPerSec
+			}
+			opts.Progress(p)
 		}
 	}
 
@@ -348,6 +367,7 @@ func RunGrid(ctx context.Context, opts GridOptions) (*GridSweep, error) {
 		go func() {
 			defer wg.Done()
 			runner := project.NewGridRunner()
+			cp := newCellProbe(opts.MetricsSink, opts.TraceSink, opts.SampleEvery)
 			for i := range jobs {
 				c := cells[i]
 				sc := opts.Scenarios[c.scenIdx]
@@ -358,12 +378,17 @@ func RunGrid(ctx context.Context, opts GridOptions) (*GridSweep, error) {
 				cfg.Seed = seed
 				sc.Mutate(&cfg)
 				cfg.Seed = seed // a mutator must not undo the derived seed
+				cfg.Probe = cp.arm(sc.Name, c.rep)
+				cellStart := time.Now()
+				rep := runner.Run(cfg)
+				wall := time.Since(cellStart).Seconds()
+				cp.flush(sc.Name, c.rep)
 				finish(i, GridRunResult{
 					Scenario: sc.Name,
 					Rep:      c.rep,
 					Seed:     seed,
-					Metrics:  ExtractGridMetrics(runner.Run(cfg)),
-				})
+					Metrics:  ExtractGridMetrics(rep),
+				}, wall)
 			}
 		}()
 	}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/rng"
 )
@@ -66,6 +68,11 @@ type Progress struct {
 	Total   int // cells in the sweep
 	Resumed bool
 	Result  RunResult
+
+	// Live telemetry (wall clock, not sim time).
+	WallSeconds float64 // this cell's simulation wall time (0 if resumed)
+	CellsPerSec float64 // finished cells per wall second so far
+	ETASeconds  float64 // projected seconds to sweep completion
 }
 
 // Options parameterizes a sweep.
@@ -91,6 +98,17 @@ type Options struct {
 	// Progress, when non-nil, is called after every cell. Calls are
 	// serialized by the runner's internal lock.
 	Progress func(Progress)
+
+	// MetricsSink / TraceSink, when non-nil, attach a pooled obs probe to
+	// every cell: each worker owns a registry and trace (re-tagged with
+	// scenario/rep per cell) and exports to these shared, mutex-guarded
+	// sinks. Probes are run-neutral, so instrumented cells produce the
+	// same Metrics as bare ones.
+	MetricsSink *obs.Sink
+	TraceSink   *obs.Sink
+	// SampleEvery is the metrics sampling cadence in sim seconds
+	// (0 = obs.DefaultSampleEvery).
+	SampleEvery float64
 }
 
 // Sweep is a completed sweep: every cell result in deterministic
@@ -154,7 +172,8 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		done    int
 		resumed int
 	)
-	finish := func(i int, res RunResult, fromCkpt bool) {
+	start := time.Now()
+	finish := func(i int, res RunResult, fromCkpt bool, wall float64) {
 		mu.Lock()
 		defer mu.Unlock()
 		results[i] = res
@@ -163,7 +182,12 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 			resumed++
 		}
 		if opts.Progress != nil {
-			opts.Progress(Progress{Done: done, Total: total, Resumed: fromCkpt, Result: res})
+			p := Progress{Done: done, Total: total, Resumed: fromCkpt, Result: res, WallSeconds: wall}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				p.CellsPerSec = float64(done) / elapsed
+				p.ETASeconds = float64(total-done) / p.CellsPerSec
+			}
+			opts.Progress(p)
 		}
 	}
 
@@ -178,6 +202,7 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 			// Runner reports are valid until the next Run call, which is
 			// fine here: ExtractMetrics copies the scalars out immediately.
 			runner := project.NewRunner()
+			cp := newCellProbe(opts.MetricsSink, opts.TraceSink, opts.SampleEvery)
 			for i := range jobs {
 				c := cells[i]
 				sc := opts.Scenarios[c.scenIdx]
@@ -187,7 +212,7 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					if prev, ok := opts.Checkpoint.Lookup(key); ok &&
 						prev.Seed == seed && prev.Scale == opts.Base.WorkScale &&
 						prev.HHours == opts.Base.HHours {
-						finish(i, prev, true)
+						finish(i, prev, true, 0)
 						continue
 					}
 				}
@@ -195,18 +220,23 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 				cfg.Seed = seed
 				sc.Mutate(&cfg)
 				cfg.Seed = seed // a mutator must not undo the derived seed
+				cfg.Probe = cp.arm(sc.Name, c.rep)
+				cellStart := time.Now()
+				rep := runner.Run(cfg)
+				wall := time.Since(cellStart).Seconds()
+				cp.flush(sc.Name, c.rep)
 				res := RunResult{
 					Scenario: sc.Name,
 					Rep:      c.rep,
 					Seed:     seed,
 					Scale:    opts.Base.WorkScale,
 					HHours:   opts.Base.HHours,
-					Metrics:  ExtractMetrics(runner.Run(cfg)),
+					Metrics:  ExtractMetrics(rep),
 				}
 				if opts.Checkpoint != nil {
 					opts.Checkpoint.Record(res)
 				}
-				finish(i, res, false)
+				finish(i, res, false, wall)
 			}
 		}()
 	}

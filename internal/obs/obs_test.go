@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// parseLines decodes every NDJSON line, failing on the first malformed one.
+func parseLines(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+func TestTraceEmitShape(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(NewSink(&buf), Str("scenario", "baseline"), Int("rep", 2))
+	tr.Emit(week, "phase", Str("phase", "ramp"), Num("share", 0.35))
+	tr.Emit(2*week, "quorum-switch", Int("from", 2), Int("to", 1))
+
+	lines := parseLines(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	first := lines[0]
+	if first["t"] != float64(week) || first["week"] != 1.0 {
+		t.Errorf("timestamps: t=%v week=%v, want %d and 1", first["t"], first["week"], week)
+	}
+	for key, want := range map[string]any{
+		"event": "phase", "scenario": "baseline", "rep": 2.0, "phase": "ramp", "share": 0.35,
+	} {
+		if first[key] != want {
+			t.Errorf("field %q = %v, want %v", key, first[key], want)
+		}
+	}
+	if lines[1]["event"] != "quorum-switch" {
+		t.Errorf("second event = %v", lines[1]["event"])
+	}
+}
+
+func TestTraceSetTagsRearms(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(NewSink(&buf), Str("scenario", "a"))
+	tr.Emit(0, "run-start")
+	tr.SetTags(Str("scenario", "b"), Int("rep", 1))
+	tr.Emit(0, "run-start")
+
+	lines := parseLines(t, buf.Bytes())
+	if lines[0]["scenario"] != "a" || lines[1]["scenario"] != "b" || lines[1]["rep"] != 1.0 {
+		t.Errorf("retagging failed: %v then %v", lines[0], lines[1])
+	}
+}
+
+func TestTraceEscapingAndSpecials(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(NewSink(&buf))
+	tr.Emit(0, `odd "name"`+"\n\tend",
+		Str("path", `C:\tmp`), Num("nan", math.NaN()), Num("inf", math.Inf(1)),
+		Str("ctl", "a\x01b"))
+	lines := parseLines(t, buf.Bytes())
+	l := lines[0]
+	if l["event"] != "odd \"name\"\n\tend" || l["path"] != `C:\tmp` || l["ctl"] != "a\x01b" {
+		t.Errorf("escaping round-trip failed: %v", l)
+	}
+	if l["nan"] != nil || l["inf"] != nil {
+		t.Errorf("NaN/Inf must encode as null, got %v / %v", l["nan"], l["inf"])
+	}
+}
+
+func TestNilTraceAndProbeAreNoops(t *testing.T) {
+	var tr *Trace
+	tr.Emit(0, "ignored") // must not panic
+	var p *Probe
+	p.Emit(0, "ignored", Num("x", 1)) // must not panic
+	if (&Probe{}).Cadence() != DefaultSampleEvery {
+		t.Errorf("zero probe cadence = %v, want default %v", (&Probe{}).Cadence(), DefaultSampleEvery)
+	}
+	if (&Probe{SampleEvery: 7}).Cadence() != 7 {
+		t.Error("explicit cadence ignored")
+	}
+}
+
+func TestLine(t *testing.T) {
+	b := Line(Str("event", "sweep-telemetry"), Int("done", 3), Num("eta-s", 1.5))
+	var obj map[string]any
+	if err := json.Unmarshal(b, &obj); err != nil {
+		t.Fatalf("Line output is not JSON: %v\n%s", err, b)
+	}
+	if obj["event"] != "sweep-telemetry" || obj["done"] != 3.0 || obj["eta-s"] != 1.5 {
+		t.Errorf("Line fields wrong: %v", obj)
+	}
+}
+
+func TestSinkStickyError(t *testing.T) {
+	s := NewSink(failAfter{n: 2})
+	s.WriteLine([]byte(`{"a":1}`))
+	s.WriteLine([]byte(`{"a":2}`))
+	s.WriteLine([]byte(`{"a":3}`)) // fails
+	s.WriteLine([]byte(`{"a":4}`)) // dropped silently
+	if s.Lines() != 2 {
+		t.Errorf("lines = %d, want 2", s.Lines())
+	}
+	if s.Err() == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+type failAfter struct{ n int64 }
+
+var failCount int64
+
+func (f failAfter) Write(p []byte) (int, error) {
+	failCount++
+	if failCount > f.n {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestSinkConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := NewTrace(s, Int("worker", int64(w)))
+			for i := 0; i < 50; i++ {
+				tr.Emit(float64(i), "tick", Int("i", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := parseLines(t, buf.Bytes())
+	if len(lines) != 400 || s.Lines() != 400 {
+		t.Fatalf("got %d parsed / %d counted lines, want 400", len(lines), s.Lines())
+	}
+}
+
+func TestRegistrySampling(t *testing.T) {
+	r := NewRegistry(16)
+	v := 0.0
+	r.Gauge("depth", func() float64 { v++; return v })
+	r.Counter("total", func() float64 { return 2 * v })
+	if r.NumSeries() != 2 {
+		t.Fatalf("NumSeries = %d", r.NumSeries())
+	}
+	for i := 0; i < 10; i++ {
+		r.Sample(float64(i))
+	}
+	if r.Samples() != 10 {
+		t.Errorf("Samples = %d, want 10", r.Samples())
+	}
+	r.Each(func(kind Kind, s *stats.Series) {
+		if s.Len() != 10 {
+			t.Errorf("series %s holds %d points, want 10", s.Name, s.Len())
+		}
+	})
+}
+
+func TestRegistryDecimation(t *testing.T) {
+	const max = 16
+	r := NewRegistry(max)
+	r.Gauge("g", func() float64 { return 1 })
+	for i := 0; i < 10*max; i++ {
+		r.Sample(float64(i))
+	}
+	if r.Samples() > max {
+		t.Errorf("stored %d samples, cap %d: decimation failed", r.Samples(), max)
+	}
+	// The retained samples must stay time-ordered and uniformly spaced
+	// (one stride doubling at a time keeps deltas constant).
+	r.Each(func(kind Kind, s *stats.Series) {
+		if s.Len() < max/2 {
+			t.Fatalf("series %s kept only %d points", s.Name, s.Len())
+		}
+		delta := s.X[1] - s.X[0]
+		for i := 1; i < s.Len(); i++ {
+			if got := s.X[i] - s.X[i-1]; got != delta {
+				t.Fatalf("non-uniform spacing at %d: %v vs %v\nX=%v", i, got, delta, s.X)
+			}
+		}
+	})
+}
+
+func TestRegistryRebindRecycles(t *testing.T) {
+	r := NewRegistry(8)
+	r.Gauge("a", func() float64 { return 1 })
+	r.Gauge("b", func() float64 { return 2 })
+	for i := 0; i < 20; i++ {
+		r.Sample(float64(i))
+	}
+	r.Rebind()
+	if r.NumSeries() != 0 || r.Samples() != 0 {
+		t.Fatalf("Rebind left %d series / %d samples", r.NumSeries(), r.Samples())
+	}
+	// Rebinding the same names must reuse the recycled buffers and sample
+	// cleanly from scratch.
+	r.Gauge("a", func() float64 { return 3 })
+	r.Sample(0)
+	if r.Samples() != 1 {
+		t.Errorf("post-rebind Samples = %d, want 1", r.Samples())
+	}
+}
+
+func TestRegistryWriteNDJSON(t *testing.T) {
+	r := NewRegistry(8)
+	r.Gauge("queue-depth", func() float64 { return 5 })
+	r.Counter("results", func() float64 { return 7 })
+	r.Sample(0)
+	r.Sample(week)
+
+	var buf bytes.Buffer
+	r.WriteNDJSON(NewSink(&buf), Str("scenario", "x"), Int("rep", 0))
+	lines := parseLines(t, buf.Bytes())
+	if len(lines) != 4 {
+		t.Fatalf("got %d sample lines, want 4", len(lines))
+	}
+	kinds := map[string]bool{}
+	for _, l := range lines {
+		kinds[fmt.Sprint(l["series"], "/", l["kind"])] = true
+		if l["scenario"] != "x" || l["rep"] != 0.0 {
+			t.Errorf("tags missing on %v", l)
+		}
+	}
+	if !kinds["queue-depth/gauge"] || !kinds["results/counter"] {
+		t.Errorf("series/kind pairs wrong: %v", kinds)
+	}
+}
+
+func TestRegistryWriteCSV(t *testing.T) {
+	r := NewRegistry(8)
+	r.Gauge("a", func() float64 { return 1 })
+	r.Gauge("b", func() float64 { return 2 })
+	r.Sample(0)
+	r.Sample(week)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(got) != 3 || !strings.HasPrefix(got[0], "t,week,") {
+		t.Fatalf("CSV shape wrong:\n%s", buf.String())
+	}
+}

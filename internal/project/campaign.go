@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/credit"
+	"repro/internal/obs"
 	"repro/internal/protein"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -89,6 +90,13 @@ type Config struct {
 
 	// SnapshotWeeks are the Figure 7 progression capture points.
 	SnapshotWeeks []float64
+
+	// Probe, if non-nil, attaches the observability plane (metrics
+	// sampling and run tracing; see internal/obs) to the run. The probe is
+	// resolved at construction/Reset time and its callbacks are read-only,
+	// so a probed run's Report is byte-identical to an unprobed one and a
+	// nil probe costs nothing. Excluded from JSON renderings of the config.
+	Probe *obs.Probe `json:"-"`
 }
 
 // DefaultConfig returns the full-scale production configuration; callers
@@ -125,6 +133,19 @@ func (c Config) Share(w float64) float64 {
 		return c.ControlShare + frac*(c.FullShare-c.ControlShare)
 	default:
 		return c.FullShare
+	}
+}
+
+// phaseAt names the §5.1 phase in force at week w — the run-trace label
+// for the schedule Share implements.
+func (c Config) phaseAt(w float64) string {
+	switch {
+	case w < c.ControlWeeks:
+		return "control"
+	case w < c.ControlWeeks+c.RampWeeks:
+		return "ramp"
+	default:
+		return "full"
 	}
 }
 
@@ -254,6 +275,14 @@ func checkConfig(cfg Config) Config {
 	if cfg.MaxWeeks <= 0 {
 		cfg.MaxWeeks = 60
 	}
+	if p := cfg.Probe; p != nil && p.Trace != nil {
+		// Saboteur onsets surface from deep inside the host layer; route
+		// them to the run trace through the host-config hook so the
+		// volunteer package stays ignorant of obs.
+		cfg.Host.OnSaboteurTurn = func(id int, at sim.Time) {
+			p.Emit(at, "saboteur-turn", obs.Int("host", int64(id)))
+		}
+	}
 	return cfg
 }
 
@@ -317,6 +346,8 @@ func (c *Campaign) Run() *Report {
 	cfg := &c.t.cfg
 	c.t.prepare()
 	c.t.bind()
+	probe := cfg.Probe
+	sampler := c.bindProbe(probe)
 
 	done := false
 	doneWeek := 0.0
@@ -325,6 +356,12 @@ func (c *Campaign) Run() *Report {
 		w := now / sim.Week
 		if done {
 			return
+		}
+		if probe != nil {
+			if ph := cfg.phaseAt(w); ph != c.t.obsPhase {
+				c.t.obsPhase = ph
+				probe.Emit(now, "phase", obs.Str("phase", ph), obs.Num("share", cfg.Share(w)))
+			}
 		}
 		// Figure 7 snapshots (captured at the first tick at/after the mark).
 		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
@@ -365,9 +402,19 @@ func (c *Campaign) Run() *Report {
 	daily.Stop()
 	// Drain any stragglers (late returns) without advancing phases.
 	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
+	if sampler != nil {
+		sampler.Stop()
+	}
 
 	c.t.finishReport(c.engine, done, doneWeek)
 	r := &c.t.report
+	if probe != nil {
+		probe.Emit(c.engine.Now(), "run-end",
+			obs.Str("completed", boolStr(done)),
+			obs.Num("weeks", r.WeeksElapsed),
+			obs.Int("events", int64(r.EventsExecuted)),
+			obs.Int("completed-wus", r.ServerStats.Completed))
+	}
 	r.MeanSpeedDown = c.pop.MeanSpeedDown()
 	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditPopulation(c.pop, c.ledger)
 	if !c.pooled {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/credit"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/volunteer"
@@ -40,6 +41,12 @@ type GridConfig struct {
 
 	Seed     uint64
 	MaxWeeks float64 // safety stop for the whole co-run
+
+	// Probe, if non-nil, attaches the observability plane to the co-run:
+	// tenant-scoped metric series get a "p<i>-" prefix, trace events carry
+	// a "project" tag, and the shared fleet contributes the mux-debt-spread
+	// series. Same zero-cost contract as Config.Probe.
+	Probe *obs.Probe `json:"-"`
 }
 
 // GridReport is what a shared-grid run produces: every tenant's full
@@ -172,6 +179,11 @@ func checkGridConfig(cfg GridConfig) GridConfig {
 	if cfg.MaxWeeks <= 0 {
 		cfg.MaxWeeks = 60
 	}
+	if p := cfg.Probe; p != nil && p.Trace != nil {
+		cfg.Host.OnSaboteurTurn = func(id int, at sim.Time) {
+			p.Emit(at, "saboteur-turn", obs.Int("host", int64(id)))
+		}
+	}
 	projects := make([]Config, len(cfg.Projects))
 	for i, p := range cfg.Projects {
 		p = checkConfig(p)
@@ -279,6 +291,9 @@ func (g *Grid) closeShareWindow(week float64) {
 	}
 	g.windowClosed = true
 	g.report.ShareWindowWeeks = week
+	if p := g.cfg.Probe; p != nil {
+		p.Emit(week*sim.Week, "share-window-close", obs.Num("at-week", week))
+	}
 	for _, t := range g.tenants {
 		t.coCPU = t.server.Stats.CPUSeconds
 	}
@@ -291,6 +306,8 @@ func (g *Grid) Run() *GridReport {
 		t.prepare()
 		t.bind()
 	}
+	probe := cfg.Probe
+	sampler := g.bindProbe(probe)
 
 	allDone := false
 	weekly := g.engine.Every(0, sim.Week, func(now sim.Time) {
@@ -309,6 +326,9 @@ func (g *Grid) Run() *GridReport {
 			}
 			if t.allDone() {
 				t.done, t.doneWeek = true, w
+				if t.probe != nil {
+					t.emit(now, "tenant-drain", obs.Num("at-week", w))
+				}
 				for t.snapIdx < len(t.cfg.SnapshotWeeks) {
 					t.captureSnapshot(t.cfg.SnapshotWeeks[t.snapIdx])
 					t.snapIdx++
@@ -363,9 +383,18 @@ func (g *Grid) Run() *GridReport {
 	daily.Stop()
 	// Drain any stragglers (late returns) without advancing phases.
 	g.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
+	if sampler != nil {
+		sampler.Stop()
+	}
 
 	g.finishReport(allDone)
 	r := &g.report
+	if probe != nil {
+		probe.Emit(g.engine.Now(), "run-end",
+			obs.Str("completed", boolStr(allDone)),
+			obs.Num("weeks", r.WeeksElapsed),
+			obs.Int("events", int64(r.EventsExecuted)))
+	}
 	if !g.pooled {
 		g.engine, g.pop, g.mux, g.ledger = nil, nil, nil, nil
 		for _, t := range g.tenants {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/credit"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -69,6 +70,15 @@ type tenant struct {
 	snapIdx  int
 	coCPU    float64 // CPUSeconds when the co-run share window closed
 
+	// Observability plane (nil/zero when the run is unprobed; see
+	// observe.go). obsName distinguishes tenants on a shared grid; obsPhase
+	// lives here rather than as a Run local so the weekly closure does not
+	// grow a heap cell on the nil-probe path.
+	probe     *obs.Probe
+	obsEngine *sim.Engine
+	obsName   string
+	obsPhase  string
+
 	report Report
 }
 
@@ -87,6 +97,7 @@ func (t *tenant) reset(cfg Config) {
 	t.cfg = cfg
 	t.next, t.outstanding = 0, 0
 	t.done, t.doneWeek, t.snapIdx, t.coCPU = false, 0, 0, 0
+	t.probe, t.obsEngine, t.obsName, t.obsPhase = nil, nil, "", ""
 	t.weeklyCPU = t.weeklyCPU[:0]
 	t.weeklyCount = t.weeklyCount[:0]
 
@@ -108,6 +119,7 @@ func (t *tenant) release() {
 	t.batches, t.order = nil, nil
 	t.weeklyCPU, t.weeklyCount = nil, nil
 	t.seenBits, t.ligScratch = nil, nil
+	t.probe, t.obsEngine = nil, nil
 }
 
 // bind points the server's completion callbacks at this tenant's batch and
@@ -251,6 +263,13 @@ func (t *tenant) releaseBatch(orderIdx int) {
 		}
 	}
 	t.outstanding++
+	if t.probe != nil {
+		t.emit(t.obsEngine.Now(), "batch-release",
+			obs.Int("receptor", int64(rec)),
+			obs.Int("order", int64(orderIdx)),
+			obs.Int("wus", int64(b.total)),
+			obs.Num("ref-seconds", b.cost))
+	}
 }
 
 // feed keeps the server stocked: release batches until pending work covers
@@ -314,6 +333,12 @@ func (t *tenant) captureSnapshot(week float64) {
 		s.OverallFraction = doneRef / totalRef
 	}
 	t.report.Snapshots = append(t.report.Snapshots, s)
+	if t.probe != nil {
+		t.emit(week*sim.Week, "snapshot",
+			obs.Num("snap-week", week),
+			obs.Num("fraction", s.OverallFraction),
+			obs.Int("batches-done", int64(s.BatchesDone)))
+	}
 }
 
 // finishReport fills the tenant-scoped part of the report: completion,

@@ -61,6 +61,7 @@ type Event struct {
 	inHeap   bool
 	canceled bool
 	recycle  bool // no handle outstanding; safe to reuse after it pops
+	observer bool // excluded from Pending/MaxPending/Executed accounting
 }
 
 // Time returns the timestamp the event is scheduled for.
@@ -250,6 +251,12 @@ func (e *Engine) insert(ev *Event, t Time) {
 	ev.inHeap = true
 	e.queue.push(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
+	if ev.observer {
+		// Observer events (metrics samplers) ride the schedule but must be
+		// invisible to every model-observable counter, so an instrumented
+		// run reports the same Pending/MaxPending/Executed as a bare one.
+		return
+	}
 	e.live++
 	if e.live > e.maxLive {
 		e.maxLive = e.live
@@ -312,7 +319,9 @@ func (e *Engine) Cancel(ev *Event) {
 	// reachable until the event's (possibly far-future) timestamp.
 	ev.fn = nil
 	if ev.inHeap {
-		e.live--
+		if !ev.observer {
+			e.live--
+		}
 		e.tombstones++
 		e.maybeSweep()
 	}
@@ -365,9 +374,11 @@ func (e *Engine) Step() bool {
 		// not stay reachable for the rest of the run.
 		fn := ev.fn
 		ev.fn = nil
-		e.live--
+		if !ev.observer {
+			e.live--
+			e.nEvent++
+		}
 		e.now = en.at
-		e.nEvent++
 		e.release(ev)
 		fn()
 		return true
@@ -422,6 +433,30 @@ func (e *Engine) Every(start Time, interval float64, fn func(Time)) *Ticker {
 	t := &Ticker{engine: e, interval: interval, fn: fn}
 	t.tickFn = t.tick
 	t.ev = e.At(start, t.tickFn)
+	return t
+}
+
+// ObserveEvery creates and starts an observer ticker: like Every, except
+// its events are excluded from the Pending/MaxPending/Executed accounting,
+// so attaching one (a metrics sampler, say) leaves every model-observable
+// kernel counter — and therefore the run's Report — byte-identical. The
+// contract is that fn is read-only with respect to the model: it may poll
+// state but must not schedule, cancel, or mutate anything the simulation
+// reads.
+//
+// An observer ticker reschedules itself forever, so it keeps a bare Run()
+// loop alive; drive engines carrying observers with RunUntil and Stop the
+// ticker when the run's horizon is reached.
+func (e *Engine) ObserveEvery(start Time, interval float64, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.tickFn = t.tick
+	ev := e.alloc()
+	*ev = Event{fn: t.tickFn, observer: true}
+	e.insert(ev, start)
+	t.ev = ev
 	return t
 }
 

@@ -312,6 +312,17 @@ type Series struct {
 // NewSeries creates a named empty series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
+// NewSeriesCap creates a named empty series with storage preallocated for
+// capacity points: the ring-buffer backing used by the obs metrics
+// registry, which needs Add to stay allocation-free up to the cap.
+func NewSeriesCap(name string, capacity int) *Series {
+	return &Series{
+		Name: name,
+		X:    make([]float64, 0, capacity),
+		Y:    make([]float64, 0, capacity),
+	}
+}
+
 // Add appends a point.
 func (s *Series) Add(x, y float64) {
 	s.X = append(s.X, x)

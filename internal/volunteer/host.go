@@ -139,6 +139,11 @@ type HostConfig struct {
 	// Empty means every host follows the flat fields above, exactly as
 	// before profiles existed.
 	Profiles []BehaviorProfile
+	// OnSaboteurTurn, if non-nil, is invoked once per saboteur host at the
+	// moment it turns permanently bad — the run-trace hook for adversarial
+	// onsets. Read-only with respect to the model; excluded from JSON so
+	// marshaled configurations are unaffected.
+	OnSaboteurTurn func(id int, at sim.Time) `json:"-"`
 }
 
 // DefaultHostConfig mirrors the production campaign.
@@ -401,10 +406,13 @@ func (h *Host) requestWork() {
 	h.curOutcome = wcg.OutcomeValid
 	if h.turned || h.src.Bernoulli(h.errorProb) {
 		h.curOutcome = wcg.OutcomeInvalid
-		if h.saboteur {
+		if h.saboteur && !h.turned {
 			// Correlated errors: the saboteur has turned, and every
 			// result from here on is invalid.
 			h.turned = true
+			if h.cfg.OnSaboteurTurn != nil {
+				h.cfg.OnSaboteurTurn(h.ID, h.engine.Now())
+			}
 		}
 	}
 	delay := wall

@@ -112,6 +112,26 @@ func (p *MuxPort) Debts() []float64 {
 	return out
 }
 
+// DebtSpread returns max−min of the port's per-project debts without
+// allocating: the per-host arbitration imbalance the obs metrics registry
+// samples (a fleet whose spreads stay near one workunit's reference
+// seconds is arbitrating fairly).
+func (p *MuxPort) DebtSpread() float64 {
+	if len(p.debt) == 0 {
+		return 0
+	}
+	lo, hi := p.debt[0], p.debt[0]
+	for _, d := range p.debt[1:] {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return hi - lo
+}
+
 // RequestWork fetches one assignment from the attached project this host
 // owes the most time to, among those with work available. Returns nil when
 // no attached project has work.

@@ -186,7 +186,9 @@ func (s *refServer) timeout(a *refAssignment) {
 }
 
 func (s *refServer) completeResult(a *refAssignment, outcome Outcome, cpuSeconds float64, host int) {
-	if !a.returned {
+	if a.returned {
+		s.stats.LateReturns++
+	} else {
 		a.returned = true
 		a.wu.outstanding--
 	}

@@ -158,6 +158,19 @@ type Stats struct {
 	Completed     int64 // distinct workunits validated
 	CPUSeconds    float64
 	WastedSeconds float64
+
+	// LateReturns counts results that arrived after their copy had already
+	// timed out (the §5.1 long-offline stragglers). Diagnostic only — it
+	// feeds the InFlight derivation — and excluded from the JSON rendering
+	// so report bytes (and the golden hashes pinned on them) are unchanged.
+	LateReturns int64 `json:"-"`
+}
+
+// InFlight returns the number of copies currently in volunteers' hands:
+// sent, minus timed-out, minus on-time returns. A late return was already
+// removed from flight by its timeout, so it must not be subtracted twice.
+func (s Stats) InFlight() int64 {
+	return s.Sent - s.TimedOut - (s.Received - s.LateReturns)
 }
 
 // RedundancyFactor returns copies-sent per distinct workunit completed —
@@ -273,6 +286,13 @@ type Server struct {
 	// OnWeekCPU, if non-nil, receives (weekIndex, cpuSeconds) for every
 	// returned result, for the Figure 6(a) weekly VFTP series.
 	OnWeekCPU func(week int, cpuSeconds float64)
+
+	// OnQuorumSwitch, if non-nil, is invoked when the quorum in force
+	// changes (at most once per run under the default validator): the
+	// run-trace hook for the paper's week-14 comparison→value-check switch.
+	// Like the callbacks above it must be read-only with respect to the
+	// server.
+	OnQuorumSwitch func(at sim.Time, from, to int)
 }
 
 // NewServer creates a server bound to the simulation engine.
@@ -367,6 +387,7 @@ func (s *Server) Reset(cfg Config) {
 	s.Stats = Stats{}
 	s.OnComplete = nil
 	s.OnWeekCPU = nil
+	s.OnQuorumSwitch = nil
 }
 
 // Deadline returns the server's base reissue deadline: how long a copy of
@@ -399,6 +420,9 @@ func (s *Server) refreshQuorum() {
 	q := s.quorum()
 	if q == s.qCache {
 		return
+	}
+	if s.OnQuorumSwitch != nil {
+		s.OnQuorumSwitch(s.engine.Now(), s.qCache, q)
 	}
 	s.qCache = q
 	s.schedEach(s.syncCounts)
@@ -603,7 +627,9 @@ func (s *Server) CompleteFrom(a *Assignment, outcome Outcome, cpuSeconds float64
 	}
 	s.refreshQuorum()
 	late := a.returned
-	if !late {
+	if late {
+		s.Stats.LateReturns++
+	} else {
 		a.returned = true
 		a.WU.outstanding--
 		s.syncCounts(a.WU)
@@ -670,6 +696,18 @@ func (s *Server) recordValid(host int) bool {
 // validation (queue depth; completed entries are not counted). O(1).
 func (s *Server) PendingCount() int {
 	return s.nQueuedLive
+}
+
+// WheelClasses returns the number of deadline classes (wheels) in force.
+func (s *Server) WheelClasses() int { return len(s.wheels) }
+
+// WheelOccupancy returns the number of entries sitting in deadline class
+// k's timeout ring. Diagnostic, O(1): the count includes copies that
+// already returned but have not yet been lazily discarded by the drain, so
+// it upper-bounds the class's truly live copies.
+func (s *Server) WheelOccupancy(k int) int {
+	w := &s.wheels[k]
+	return len(w.dlq) - w.dlHead
 }
 
 // String summarizes the server state for logs.
