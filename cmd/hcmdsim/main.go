@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S] [-coshare F]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S] [-shards K]
+//	        [-coshare F] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-metrics FILE] [-trace FILE] [-sample-every S]
 //
 // The default scale (1/84) finishes in seconds; -scale 1 simulates the full
 // 3.9-million-workunit campaign (minutes, several GB of events).
+//
+// -shards K runs the campaign on the deterministic sharded time-window
+// kernel with K worker shards instead of the legacy single-heap kernel.
+// The printed tables are byte-identical for every K (the sharded kernel is
+// golden-hash pinned to the legacy one); sharding pays off at mega-grid
+// host scales. The -coshare co-run always uses the legacy shared
+// population plane.
 //
 // With -coshare F (0 < F < 1) it additionally co-runs the HCMD workload at
 // resource share F on a shared grid against a phase-II-sized co-project
@@ -47,6 +54,7 @@ func main() {
 	outdir := flag.String("outdir", "", "directory for CSV figure series (optional)")
 	fig1Days := flag.Int("fig1days", 3*364, "days of grid history for Figure 1")
 	seed := flag.Uint64("seed", 0, "campaign seed (0 = the deployed default)")
+	shards := flag.Int("shards", 0, "sharded-kernel worker shards (0 = legacy kernel; output is byte-identical for every value)")
 	coshare := flag.Float64("coshare", 0, "co-run HCMD at this grid share against a phase-II co-project and cross-validate the §7 share assumption (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
@@ -61,6 +69,10 @@ func main() {
 	}
 	if *coshare < 0 || *coshare >= 1 {
 		fmt.Fprintln(os.Stderr, "hcmdsim: -coshare must be in (0, 1)")
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "hcmdsim: -shards must be ≥ 0")
 		os.Exit(2)
 	}
 
@@ -121,6 +133,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Shards = *shards
 	probe, flushObs, perr := openProbe(*metricsPath, *tracePath, *sampleEvery)
 	if perr != nil {
 		fmt.Fprintf(os.Stderr, "hcmdsim: %v\n", perr)

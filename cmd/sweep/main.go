@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sweep -list
-//	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
+//	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-shards K] [-scale S]
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
 //	      [-adaptive-streak N] [-cpuprofile FILE] [-memprofile FILE]
@@ -27,6 +27,13 @@
 // multiplexer, and the headline metric is how closely each tenant's
 // measured grid share tracks its configured resource share. Co-runs have
 // no checkpoint path and ignore the policy-override flags.
+//
+// -shards K runs every cell on the sharded campaign kernel with K worker
+// shards instead of the legacy single-heap kernel. Results are
+// byte-identical either way (the sharded kernel is golden-hash pinned to
+// the legacy one), so it composes freely with -resume and every scenario;
+// it pays off at large -scale host populations. Ignored with -corun: the
+// shared multi-project grid runs on the legacy population plane.
 //
 // -scheduler and -validator override the base configuration's grid
 // policies before each scenario's mutation is applied, so any catalog
@@ -84,6 +91,7 @@ func run() (err error) {
 	scenarios := flag.String("scenarios", "all", "comma-separated scenario names, or 'all'")
 	reps := flag.Int("reps", 3, "replications per scenario")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "per-campaign sharded-kernel shards (0 = legacy kernel; results are byte-identical either way; ignored with -corun)")
 	scale := flag.Float64("scale", 1.0/84, "work and host scale (0 < s <= 1)")
 	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
 	seed := flag.Uint64("seed", 0, "sweep base seed (0 = campaign default)")
@@ -179,8 +187,8 @@ func run() (err error) {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	total := len(selected) * *reps
-	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g)\n",
-		len(selected), *reps, total, nWorkers, *scale)
+	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g, shards %d)\n",
+		len(selected), *reps, total, nWorkers, *scale, *shards)
 
 	if *resume && (*scheduler != "" || *validator != "") {
 		return fmt.Errorf("-resume cannot be combined with -scheduler/-validator: checkpoint cells don't record the policy overrides they ran under; use a fresh -checkpoint file")
@@ -192,6 +200,7 @@ func run() (err error) {
 	}
 	start := time.Now()
 	tracker := experiment.NewTracker(total)
+	tracker.Workers, tracker.Shards = nWorkers, *shards
 	stopTicker := startTicker(tracker, *progressEvery, msink)
 	defer stopTicker()
 	opts := experiment.Options{
@@ -199,6 +208,7 @@ func run() (err error) {
 		Scenarios:   selected,
 		Reps:        *reps,
 		Workers:     *workers,
+		Shards:      *shards,
 		BaseSeed:    *seed,
 		Checkpoint:  ckpt,
 		MetricsSink: msink,
@@ -265,6 +275,7 @@ func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, 
 
 	sys := core.NewHCMD()
 	tracker := experiment.NewTracker(total)
+	tracker.Workers = nWorkers
 	stopTicker := startTicker(tracker, progressEvery, msink)
 	defer stopTicker()
 	opts := experiment.GridOptions{
@@ -403,8 +414,8 @@ func startTicker(tr *experiment.Tracker, every time.Duration, metrics *obs.Sink)
 // process memory, so even a -q run leaves a one-line wall-time record.
 func printSummary(tr *experiment.Tracker) {
 	t := tr.Snapshot()
-	fmt.Fprintf(os.Stderr, "summary: %d cells in %.1fs, %.2f cells/s, mean cell %.2fs, %.1f MB sys (peak RSS), %.1f MB allocated\n",
-		t.Done, t.ElapsedSeconds, t.CellsPerSec, t.MeanCellSeconds, t.SysMB, t.TotalAllocMB)
+	fmt.Fprintf(os.Stderr, "summary: %d cells in %.1fs, %.2f cells/s, mean cell %.2fs, %d workers (GOMAXPROCS %d), %d shards, %.1f MB sys (peak RSS), %.1f MB allocated\n",
+		t.Done, t.ElapsedSeconds, t.CellsPerSec, t.MeanCellSeconds, t.Workers, t.Gomaxprocs, t.Shards, t.SysMB, t.TotalAllocMB)
 }
 
 // applyPolicies resolves the -scheduler/-validator flags onto the base

@@ -15,19 +15,21 @@ const BenchSchema = "bench-campaign/v1"
 // simulation kernel itself, so a run is comparable across machines (same
 // events executed) and within a machine (ns/op).
 type BenchRun struct {
-	Benchmark       string  `json:"benchmark"`            // e.g. "BenchmarkCampaignFullScale"
-	Label           string  `json:"label"`                // e.g. "post-refactor (PR 2)"
-	Date            string  `json:"date,omitempty"`       // YYYY-MM-DD the run was recorded
-	CPU             string  `json:"cpu,omitempty"`        // informational; ns/op is machine-bound
-	Scale           float64 `json:"scale"`                // WorkScale of the run
-	HostScale       float64 `json:"host_scale,omitempty"` // only when ≠ Scale (grid-growth runs)
-	NsPerOp         int64   `json:"ns_per_op"`            // wall-clock per campaign
-	BytesPerOp      int64   `json:"bytes_per_op"`         // heap allocated per campaign
-	AllocsPerOp     int64   `json:"allocs_per_op"`        // heap allocations per campaign
-	EventsExecuted  uint64  `json:"events_executed"`      // kernel events per campaign
-	PeakQueueDepth  int     `json:"peak_queue_depth"`     // event-queue high-water mark
-	SimWeeks        float64 `json:"sim_weeks"`            // simulated campaign duration
-	ResultsReceived int64   `json:"results_received"`     // returned results per campaign
+	Benchmark       string  `json:"benchmark"`              // e.g. "BenchmarkCampaignFullScale"
+	Label           string  `json:"label"`                  // e.g. "post-refactor (PR 2)"
+	Date            string  `json:"date,omitempty"`         // YYYY-MM-DD the run was recorded
+	CPU             string  `json:"cpu,omitempty"`          // informational; ns/op is machine-bound
+	Scale           float64 `json:"scale"`                  // WorkScale of the run
+	HostScale       float64 `json:"host_scale,omitempty"`   // only when ≠ Scale (grid-growth runs)
+	Shards          int     `json:"shards,omitempty"`       // sharded-kernel runs (0 = legacy kernel)
+	HostsJoined     int     `json:"hosts_joined,omitempty"` // volunteers that ever joined (churn included)
+	NsPerOp         int64   `json:"ns_per_op"`              // wall-clock per campaign
+	BytesPerOp      int64   `json:"bytes_per_op"`           // heap allocated per campaign
+	AllocsPerOp     int64   `json:"allocs_per_op"`          // heap allocations per campaign
+	EventsExecuted  uint64  `json:"events_executed"`        // kernel events per campaign
+	PeakQueueDepth  int     `json:"peak_queue_depth"`       // event-queue high-water mark
+	SimWeeks        float64 `json:"sim_weeks"`              // simulated campaign duration
+	ResultsReceived int64   `json:"results_received"`       // returned results per campaign
 }
 
 // BenchFile is the on-disk BENCH_campaign.json: an append-mostly log of

@@ -87,6 +87,13 @@ type Options struct {
 	// Workers bounds the goroutine pool; 0 means GOMAXPROCS.
 	Workers int
 
+	// Shards selects the sharded campaign kernel for every cell (0 = the
+	// legacy single-heap kernel). The shard count never changes simulation
+	// results — sharded runs are byte-identical to sequential and legacy
+	// ones — so it is not part of the checkpoint key and checkpointed
+	// cells from a differently-sharded sweep stay valid.
+	Shards int
+
 	// BaseSeed is mixed with the scenario and replication indexes to derive
 	// each run's seed; 0 falls back to Base.Seed.
 	BaseSeed uint64
@@ -220,6 +227,9 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 				cfg.Seed = seed
 				sc.Mutate(&cfg)
 				cfg.Seed = seed // a mutator must not undo the derived seed
+				if opts.Shards > 0 {
+					cfg.Shards = opts.Shards // execution plan, not an experiment variable
+				}
 				cfg.Probe = cp.arm(sc.Name, c.rep)
 				cellStart := time.Now()
 				rep := runner.Run(cfg)

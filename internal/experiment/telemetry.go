@@ -15,6 +15,9 @@ import (
 type Telemetry struct {
 	Done            int
 	Total           int
+	Workers         int // sweep worker goroutines
+	Gomaxprocs      int // runtime.GOMAXPROCS when the snapshot was taken
+	Shards          int // per-campaign kernel shards (0 = legacy kernel)
 	ElapsedSeconds  float64
 	CellsPerSec     float64
 	ETASeconds      float64 // 0 when no cell has finished yet
@@ -36,6 +39,9 @@ func (t Telemetry) Fields() []obs.F {
 		obs.Str("event", "sweep-telemetry"),
 		obs.Int("done", int64(t.Done)),
 		obs.Int("total", int64(t.Total)),
+		obs.Int("workers", int64(t.Workers)),
+		obs.Int("gomaxprocs", int64(t.Gomaxprocs)),
+		obs.Int("shards", int64(t.Shards)),
 		obs.Num("elapsed-s", t.ElapsedSeconds),
 		obs.Num("cells-per-s", t.CellsPerSec),
 		obs.Num("eta-s", t.ETASeconds),
@@ -49,6 +55,12 @@ func (t Telemetry) Fields() []obs.F {
 // a Progress callback (Observe) and poll it from a ticker goroutine
 // (Snapshot); both are safe concurrently.
 type Tracker struct {
+	// Workers and Shards describe the sweep's parallelism plan (worker
+	// goroutines, per-campaign kernel shards); set them before the sweep
+	// starts and they are copied into every Snapshot.
+	Workers int
+	Shards  int
+
 	mu      sync.Mutex
 	start   time.Time
 	total   int
@@ -83,6 +95,9 @@ func (tr *Tracker) Snapshot() Telemetry {
 	t := Telemetry{
 		Done:           tr.done,
 		Total:          tr.total,
+		Workers:        tr.Workers,
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
+		Shards:         tr.Shards,
 		ElapsedSeconds: time.Since(tr.start).Seconds(),
 		TotalAllocMB:   float64(ms.TotalAlloc) / (1 << 20),
 		SysMB:          float64(ms.Sys) / (1 << 20),

@@ -88,6 +88,16 @@ type Config struct {
 	Seed     uint64
 	MaxWeeks float64 // safety stop
 
+	// Shards selects the execution plan: 0 (the default) runs the legacy
+	// single-heap host kernel; K ≥ 1 runs the deterministic sharded
+	// time-window kernel (volunteer.ShardKernel) with K worker shards.
+	// Reports are byte-identical across all values — Shards=1 equals
+	// Shards=N equals the legacy kernel, fresh and pooled (golden-hash
+	// pinned) — so this is purely a performance choice for mega-grid
+	// host scales. Excluded from JSON so marshaled reports and scenario
+	// hashes are invariant to the plan.
+	Shards int `json:"-"`
+
 	// SnapshotWeeks are the Figure 7 progression capture points.
 	SnapshotWeeks []float64
 
@@ -177,6 +187,10 @@ type Report struct {
 	DistinctWUs   int64
 	ServerStats   wcg.Stats
 	MeanSpeedDown float64 // population mean
+	// HostsJoined counts every volunteer that ever joined (churn included).
+	// Excluded from the JSON rendering so the PR 5/6 golden report bytes
+	// stay valid; the mega-grid benchmarks read it to record fleet size.
+	HostsJoined int `json:"-"`
 
 	// Weekly series (real, de-scaled units).
 	HCMDVFTP    *stats.Series // Figure 6(a): project VFTP per week
@@ -247,7 +261,8 @@ func (r Report) TotalFactor() float64 {
 type Campaign struct {
 	t      tenant
 	engine *sim.Engine
-	pop    *volunteer.Population
+	pop    *volunteer.Population  // legacy kernel (Shards == 0)
+	kern   *volunteer.ShardKernel // sharded mega-grid kernel (Shards > 0)
 	ledger *credit.Ledger
 
 	// pooled marks a Runner-owned campaign: its arenas survive Run for the
@@ -275,6 +290,9 @@ func checkConfig(cfg Config) Config {
 	if cfg.MaxWeeks <= 0 {
 		cfg.MaxWeeks = 60
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
 	if p := cfg.Probe; p != nil && p.Trace != nil {
 		// Saboteur onsets surface from deep inside the host layer; route
 		// them to the run trace through the host-config hook so the
@@ -291,9 +309,32 @@ func New(cfg Config) *Campaign {
 	cfg = checkConfig(cfg)
 	c := &Campaign{engine: sim.NewEngine()}
 	c.t.initTenant(cfg, wcg.NewServer(c.engine, cfg.Server))
-	c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
+	if cfg.Shards > 0 {
+		c.kern = volunteer.NewShardKernel(c.engine, c.t.server, cfg.Host,
+			rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
+	} else {
+		c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
+	}
 	c.ledger = credit.NewLedger()
 	return c
+}
+
+// shardWindow picks the sharded kernel's barrier width: half the target
+// task wall time, capped by the idle-retry interval — wide enough that
+// almost every host continuation lands beyond the current window (the
+// overlay heap catches the rest; any positive value is correct).
+func shardWindow(cfg Config) float64 {
+	w := cfg.Host.IdleRetry
+	if w <= 0 {
+		w = 6 * sim.Hour
+	}
+	if h := cfg.HHours * 1800; h > 0 && h < w {
+		w = h
+	}
+	if w < sim.Minute {
+		w = sim.Minute
+	}
+	return w
 }
 
 // reset rearms the campaign for another run under a new configuration,
@@ -306,7 +347,21 @@ func (c *Campaign) reset(cfg Config) {
 	cfg = checkConfig(cfg)
 	c.engine.Reset()
 	c.t.server.Reset(cfg.Server)
-	c.pop.Reset(cfg.Host, rng.New(cfg.Seed))
+	if cfg.Shards > 0 {
+		if c.kern == nil {
+			c.kern = volunteer.NewShardKernel(c.engine, c.t.server, cfg.Host,
+				rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
+		} else {
+			c.kern.Reset(c.engine, c.t.server, cfg.Host,
+				rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
+		}
+	} else {
+		if c.pop == nil {
+			c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
+		} else {
+			c.pop.Reset(cfg.Host, rng.New(cfg.Seed))
+		}
+	}
 	c.ledger.Reset()
 	c.t.reset(cfg)
 }
@@ -343,6 +398,9 @@ func (r *Runner) Run(cfg Config) *Report {
 
 // Run executes the campaign and returns its report.
 func (c *Campaign) Run() *Report {
+	if c.t.cfg.Shards > 0 {
+		return c.runSharded()
+	}
 	cfg := &c.t.cfg
 	c.t.prepare()
 	c.t.bind()
@@ -416,6 +474,7 @@ func (c *Campaign) Run() *Report {
 			obs.Int("completed-wus", r.ServerStats.Completed))
 	}
 	r.MeanSpeedDown = c.pop.MeanSpeedDown()
+	r.HostsJoined = c.pop.TotalJoined()
 	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditPopulation(c.pop, c.ledger)
 	if !c.pooled {
 		// Release the run context: kernel, middleware, hosts, scratch. The

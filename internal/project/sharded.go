@@ -1,0 +1,166 @@
+package project
+
+import (
+	"math"
+
+	"repro/internal/credit"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/volunteer"
+)
+
+// runSharded is the Shards > 0 execution of Campaign.Run: the same weekly
+// phase schedule, daily feeder, drain and accounting, driven through the
+// deterministic sharded time-window kernel instead of per-Host engine
+// events. The legacy Run body stays untouched so its golden bytes and
+// alloc counts cannot drift; this mirror is held byte-identical to it by
+// the sharded-vs-legacy golden-hash tests.
+func (c *Campaign) runSharded() *Report {
+	cfg := &c.t.cfg
+	c.t.prepare()
+	c.t.bind()
+	probe := cfg.Probe
+	sampler := c.bindProbeSharded(probe)
+	kern := c.kern
+
+	done := false
+	doneWeek := 0.0
+	snapIdx := 0
+	// The spawn-count forecast for the slot pool: active hosts only change
+	// at weekly ticks, so at the window barrier before a tick this is the
+	// exact spawn count — except when the project finishes at that very
+	// tick, where it overpredicts harmlessly (slots keep, seeds are
+	// pre-drawn from a stream nothing else reads).
+	kern.SpawnHint = func(w float64) int {
+		if done {
+			return 0
+		}
+		gridCap := cfg.Grid.VFTPAt(CampaignStartWeek + w)
+		target := int(math.Round(cfg.Share(w) * gridCap * cfg.HostScale))
+		if target < 1 {
+			target = 1
+		}
+		return target - kern.Active()
+	}
+	weekly := c.engine.Every(0, sim.Week, func(now sim.Time) {
+		w := now / sim.Week
+		if done {
+			return
+		}
+		if probe != nil {
+			if ph := cfg.phaseAt(w); ph != c.t.obsPhase {
+				c.t.obsPhase = ph
+				probe.Emit(now, "phase", obs.Str("phase", ph), obs.Num("share", cfg.Share(w)))
+			}
+		}
+		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
+			c.t.captureSnapshot(w)
+			snapIdx++
+		}
+		if c.t.allDone() {
+			done = true
+			doneWeek = w
+			for snapIdx < len(cfg.SnapshotWeeks) {
+				c.t.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
+				snapIdx++
+			}
+			kern.SetTarget(0)
+			return
+		}
+		gridCap := cfg.Grid.VFTPAt(CampaignStartWeek + w)
+		target := int(math.Round(cfg.Share(w) * gridCap * cfg.HostScale))
+		if target < 1 {
+			target = 1
+		}
+		kern.SetTarget(target)
+		c.t.server.EnsureHosts(kern.TotalJoined())
+		c.t.feed(kern.Active())
+	})
+	daily := c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+		if !done {
+			c.t.feed(kern.Active())
+		}
+	})
+
+	kern.RunUntil(cfg.MaxWeeks * sim.Week)
+	weekly.Stop()
+	daily.Stop()
+	// Drain stragglers (late returns) without advancing phases — and
+	// without forecasting spawns for ticks that will never fire.
+	kern.SpawnHint = nil
+	kern.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
+	if sampler != nil {
+		sampler.Stop()
+	}
+
+	c.t.finishReport(c.engine, done, doneWeek)
+	r := &c.t.report
+	if probe != nil {
+		probe.Emit(c.engine.Now(), "run-end",
+			obs.Str("completed", boolStr(done)),
+			obs.Num("weeks", r.WeeksElapsed),
+			obs.Int("events", int64(r.EventsExecuted)),
+			obs.Int("completed-wus", r.ServerStats.Completed))
+	}
+	r.MeanSpeedDown = kern.MeanSpeedDown()
+	r.HostsJoined = kern.TotalJoined()
+	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditKernel(kern, c.ledger)
+	if !c.pooled {
+		c.engine, c.kern, c.ledger = nil, nil, nil
+		c.t.release()
+	}
+	return r
+}
+
+// bindProbeSharded is bindProbe with the fleet metrics read from the
+// sharded kernel (same series names, same sampling cadence).
+func (c *Campaign) bindProbeSharded(p *obs.Probe) *sim.Ticker {
+	if p == nil {
+		return nil
+	}
+	c.t.bindObs(p, c.engine, "")
+	p.Emit(0, "run-start",
+		obs.Int("wus", c.t.report.DistinctWUs),
+		obs.Num("ref-seconds", c.t.report.TotalRefWork),
+		obs.Int("batches", int64(len(c.t.order))))
+	var sampler *sim.Ticker
+	if reg := p.Metrics; reg != nil {
+		reg.Rebind()
+		bindServerMetrics(reg, c.engine, c.t.server, "")
+		kern := c.kern
+		reg.Gauge("active-hosts", func() float64 { return float64(kern.Active()) })
+		reg.Counter("hosts-joined", func() float64 { return float64(kern.TotalJoined()) })
+		reg.Gauge("pending-events", func() float64 { return float64(c.engine.Pending()) })
+		reg.Counter("events-executed", func() float64 { return float64(c.engine.Executed()) })
+		sampler = c.engine.ObserveEvery(0, p.Cadence(), func(now sim.Time) {
+			reg.Sample(now)
+		})
+	}
+	return sampler
+}
+
+// creditKernel runs the §8 points accounting over the SoA fleet, the
+// sharded counterpart of creditPopulation: same join-order iteration, same
+// registration and credit calls.
+func creditKernel(k *volunteer.ShardKernel, ledger *credit.Ledger) (total, bias, trend float64) {
+	n := k.TotalJoined()
+	for id := 0; id < n; id++ {
+		hw, joined, cpu := k.HostAccounting(id)
+		ledger.Register(credit.Device{
+			ID:       id,
+			Score:    credit.ReferenceScore / hw,
+			JoinedAt: joined,
+		})
+		if cpu > 0 {
+			if _, err := ledger.Credit(credit.Result{Device: id, ReportedS: cpu, At: joined}); err != nil {
+				panic(err) // devices were just registered; cannot happen
+			}
+		}
+	}
+	total = ledger.Total()
+	bias = ledger.AccountingBias()
+	if tr, _, ok := ledger.PowerTrend(); ok {
+		trend = tr
+	}
+	return total, bias, trend
+}

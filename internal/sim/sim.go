@@ -359,6 +359,67 @@ func (e *Engine) discardTombstone(ev *Event) {
 	e.release(ev)
 }
 
+// Peek returns the (time, seq) ordering key of the next live event without
+// executing it, discarding any tombstones that surface on the way. ok is
+// false when no live events remain. The sharded host kernel merges its own
+// event calendars with the engine's schedule through this key: the global
+// execution order is exactly "ascending (time, seq)" whichever side an
+// event lives on.
+func (e *Engine) Peek() (t Time, seq uint64, ok bool) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.ev.canceled {
+			e.queue.pop()
+			e.discardTombstone(next.ev)
+			continue
+		}
+		return next.at, next.seq, true
+	}
+	return 0, 0, false
+}
+
+// TakeSeq hands out the next FIFO tie-break sequence number, exactly as
+// scheduling an event here would. An external event calendar (the sharded
+// host plane) draws its sequence numbers from the engine's counter at the
+// same moments the legacy code would have scheduled on the engine, so ties
+// between external and engine events resolve in the identical order.
+func (e *Engine) TakeSeq() uint64 {
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// ExternalSchedule accounts one externally-stored event as scheduled:
+// Pending/MaxPending move exactly as an engine-side Schedule would move
+// them. The event itself lives in the caller's calendar, not the heap.
+func (e *Engine) ExternalSchedule() {
+	e.live++
+	if e.live > e.maxLive {
+		e.maxLive = e.live
+	}
+}
+
+// ExternalExecute advances the clock to t and accounts one externally-
+// stored event as executed, mirroring what Step does for heap events
+// (live--, executed++, clock forward) so kernel counters stay identical
+// whichever calendar ran the event. t must not precede the clock.
+func (e *Engine) ExternalExecute(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: external event at %v before now %v", t, e.now))
+	}
+	e.live--
+	e.nEvent++
+	e.now = t
+}
+
+// AdvanceTo moves the clock forward to t if it is ahead, exactly as
+// RunUntil does after draining events up to a deadline.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
 // Step executes the next event. It returns false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {

@@ -24,6 +24,12 @@ import (
 // as reproducible as single-project ones.
 type Mux struct {
 	atts []attachment
+
+	// debts is the dense per-host debt plane: host id × projects slab,
+	// each port's vector a reused window into it. One allocation per
+	// fleet instead of one per host — the mega-grid SoA discipline
+	// (plane.go) applied to the multiplexer.
+	debts []float64
 }
 
 type attachment struct {
@@ -61,8 +67,26 @@ func (m *Mux) Attach(s *wcg.Server, share float64) int {
 }
 
 // Reset drops all attachments so a pooled grid can re-attach its (freshly
-// reset) servers for the next run. The backing array is retained.
-func (m *Mux) Reset() { m.atts = m.atts[:0] }
+// reset) servers for the next run. The backing arrays (attachments and the
+// per-host debt slab) are retained.
+func (m *Mux) Reset() {
+	m.atts = m.atts[:0]
+	m.debts = m.debts[:0]
+}
+
+// debtFor returns host id's zeroed debt vector: a full-capacity window into
+// the dense slab, grown on demand as the fleet spawns. Hosts (re)arm their
+// ports in ascending id order, so growth is an amortized append.
+func (m *Mux) debtFor(id int) []float64 {
+	n := len(m.atts)
+	lo := id * n
+	for len(m.debts) < lo+n {
+		m.debts = append(m.debts, 0)
+	}
+	v := m.debts[lo : lo+n : lo+n]
+	clear(v)
+	return v
+}
 
 // Projects returns the number of attached project servers.
 func (m *Mux) Projects() int { return len(m.atts) }
@@ -86,22 +110,18 @@ func (m *Mux) Server(i int) *wcg.Server { return m.atts[i].server }
 // stream — deterministic, independent of other hosts.
 type MuxPort struct {
 	mux  *Mux
-	debt []float64
+	debt []float64 // host's window into the mux's dense debt slab
 	r    rng.Source
 }
 
-// init (re)arms a port for a (possibly recycled) host: debts zeroed, the
-// tie-break stream reseeded. The debt vector's backing array is reused.
-func (p *MuxPort) init(m *Mux, seed uint64) {
+// init (re)arms host id's port: debts zeroed, the tie-break stream
+// reseeded. The debt vector is the host's slice of the mux's dense slab
+// (see Mux.debtFor), so arming a port allocates nothing once the slab has
+// grown to the fleet size.
+func (p *MuxPort) init(m *Mux, id int, seed uint64) {
 	p.mux = m
 	rng.NewInto(&p.r, seed)
-	n := len(m.atts)
-	if cap(p.debt) < n {
-		p.debt = make([]float64, n)
-	} else {
-		p.debt = p.debt[:n]
-		clear(p.debt)
-	}
+	p.debt = m.debtFor(id)
 }
 
 // Debts returns a copy of the port's per-project short-term debts

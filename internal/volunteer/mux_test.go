@@ -75,7 +75,7 @@ func TestMuxPortDebtInvariants(t *testing.T) {
 	sizes := func(p, i int) float64 { return 1800 + float64((i*7+p*13)%4)*1800/2 } // 0.5h..~1.25h, capped well under maxRef
 	_, m := muxFixture(t, []float64{0.1, 0.3, 0.6}, 5000, sizes)
 	var p MuxPort
-	p.init(m, 99)
+	p.init(m, 0, 99)
 	counts := make([]int, 3)
 	for i := 0; i < 6000; i++ {
 		a := p.RequestWork()
@@ -107,7 +107,7 @@ func TestMuxPortDebtInvariants(t *testing.T) {
 func TestMuxPortShareConvergence(t *testing.T) {
 	_, m := muxFixture(t, []float64{0.25, 0.75}, 20000, func(int, int) float64 { return 3600 })
 	var p MuxPort
-	p.init(m, 7)
+	p.init(m, 0, 7)
 	var ref [2]float64
 	for i := 0; i < 8000; i++ {
 		a := p.RequestWork()
@@ -138,7 +138,7 @@ func TestMuxIdleTenantYields(t *testing.T) {
 	m.Attach(busy, 0.5)
 	m.Attach(idle, 0.5)
 	var p MuxPort
-	p.init(m, 3)
+	p.init(m, 0, 3)
 	for i := 0; i < 50; i++ {
 		a := p.RequestWork()
 		if a == nil || a.Project() != 0 {
@@ -172,7 +172,7 @@ func TestMuxPortDeterministicTieBreaks(t *testing.T) {
 	run := func() []int {
 		_, m := muxFixture(t, []float64{1, 1, 1}, 2000, func(int, int) float64 { return 3600 })
 		var p MuxPort
-		p.init(m, 1234)
+		p.init(m, 0, 1234)
 		out := make([]int, 0, 600)
 		for i := 0; i < 600; i++ {
 			a := p.RequestWork()
@@ -196,12 +196,12 @@ func TestMuxPortDeterministicTieBreaks(t *testing.T) {
 func TestMuxPortReuse(t *testing.T) {
 	_, m := muxFixture(t, []float64{0.3, 0.7}, 5000, func(int, int) float64 { return 3600 })
 	var fresh, reused MuxPort
-	fresh.init(m, 55)
-	reused.init(m, 77)
+	fresh.init(m, 0, 55)
+	reused.init(m, 1, 77)
 	for i := 0; i < 100; i++ {
 		reused.RequestWork() // dirty the debts
 	}
-	reused.init(m, 55)
+	reused.init(m, 1, 55)
 	for i := 0; i < 200; i++ {
 		a, b := fresh.RequestWork(), reused.RequestWork()
 		if (a == nil) != (b == nil) || (a != nil && a.Project() != b.Project()) {

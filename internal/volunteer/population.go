@@ -85,7 +85,7 @@ func (p *Population) spawn() *Host {
 	rng.NewInto(&h.src, seed)
 	source := p.server
 	if p.mux != nil {
-		h.port.init(p.mux, portSeed)
+		h.port.init(p.mux, p.nextID, portSeed)
 		source = &h.port
 	} else {
 		h.port.mux = nil // a recycled host may have been multiplexed before

@@ -692,6 +692,19 @@ func (s *Server) recordValid(host int) bool {
 	return trusted
 }
 
+// EnsureHosts presizes the per-host validation-trust table for a fleet of
+// n hosts, so a mega-grid spawn burst does not regrow it result by result.
+// Purely a capacity hint: an absent streak entry and a zero entry behave
+// identically, and a non-adaptive server keeps no table at all.
+func (s *Server) EnsureHosts(n int) {
+	if !s.adaptiveOn {
+		return
+	}
+	for len(s.adStreak) < n {
+		s.adStreak = append(s.adStreak, 0)
+	}
+}
+
 // PendingCount returns the number of workunits still waiting for copies or
 // validation (queue depth; completed entries are not counted). O(1).
 func (s *Server) PendingCount() int {
