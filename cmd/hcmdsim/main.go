@@ -8,6 +8,8 @@
 //	hcmdsim [-scale 1/N] [-hours H] [-outdir DIR] [-seed S] [-shards K]
 //	        [-coshare F] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-metrics FILE] [-trace FILE] [-sample-every S]
+//	        [-maintenance-hours H] [-outage-rate R] [-outage-hours H]
+//	        [-upload-loss P] [-churn-weekly F] [-fault-seed N]
 //
 // The default scale (1/84) finishes in seconds; -scale 1 simulates the full
 // 3.9-million-workunit campaign (minutes, several GB of events).
@@ -24,6 +26,13 @@
 // holding 1−F, then recomputes the §7 member arithmetic from the measured
 // share next to the assumed one — the Table 3 grid-share assumption
 // cross-validated by simulation instead of taken as a constant.
+//
+// The fault flags install the internal/faults plane under the campaign:
+// planned weekly maintenance windows, seeded unplanned outages, flaky
+// result uploads, and permanent host churn with replacement joins. Hosts
+// degrade gracefully (capped exponential backoff, smeared reconnects,
+// upload retries) and the run ends with a one-line fault summary. Fault
+// runs stay byte-identical across -shards values.
 //
 // -cpuprofile / -memprofile write pprof files covering the run, the same
 // profiling loop cmd/sweep has. -metrics / -trace attach the observability
@@ -42,10 +51,12 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/forecast"
 	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -61,6 +72,12 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write campaign metric samples (NDJSON) to this file")
 	tracePath := flag.String("trace", "", "write campaign run-trace events (NDJSON) to this file")
 	sampleEvery := flag.Float64("sample-every", 0, "metrics sampling cadence in sim seconds (0 = half a sim day)")
+	maintHours := flag.Float64("maintenance-hours", 0, "planned weekly server maintenance window, in sim hours (0 = off)")
+	outageRate := flag.Float64("outage-rate", 0, "unplanned server outages per sim week (0 = off)")
+	outageHours := flag.Float64("outage-hours", 12, "mean unplanned outage duration in sim hours (with -outage-rate)")
+	uploadLoss := flag.Float64("upload-loss", 0, "per-result upload loss probability in [0,1) (0 = off; lost uploads retry 3 times)")
+	churnWeekly := flag.Float64("churn-weekly", 0, "fraction of the fleet departing permanently per sim week, replaced by fresh joins (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-plane seed override (0 = derived from the campaign seed)")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 1 {
@@ -134,6 +151,12 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Shards = *shards
+	fcfg, ferr := buildFaults(*maintHours, *outageRate, *outageHours, *uploadLoss, *churnWeekly, *faultSeed)
+	if ferr != nil {
+		fmt.Fprintf(os.Stderr, "hcmdsim: %v\n", ferr)
+		os.Exit(2)
+	}
+	cfg.Faults = fcfg
 	probe, flushObs, perr := openProbe(*metricsPath, *tracePath, *sampleEvery)
 	if perr != nil {
 		fmt.Fprintf(os.Stderr, "hcmdsim: %v\n", perr)
@@ -156,6 +179,11 @@ func main() {
 	fmt.Printf("mean reported workunit time: %.1f h (paper ≈ 13 h)\n", rep.MeanReportedH)
 	fmt.Printf("VFTP: whole period %.0f (paper 16,450), full power %.0f (paper 26,248)\n",
 		rep.AvgVFTPWhole, rep.AvgVFTPFullPower)
+	if fr := rep.Faults; fr != nil {
+		fmt.Printf("faults: %d outages (%d planned, %.1f h down), uploads lost %d / dropped %d, hosts churned %d, mean recovery %.1f min\n",
+			fr.Outages, fr.PlannedOutages, fr.DowntimeSeconds/3600,
+			fr.LostUploads, fr.DroppedResults, fr.Departures, fr.MeanRecoverySeconds/60)
+	}
 
 	fmt.Println("\n== Figure 7: progression snapshots ==")
 	for _, sn := range rep.Snapshots {
@@ -209,6 +237,47 @@ func main() {
 		}
 		fmt.Printf("\nCSV series written to %s\n", *outdir)
 	}
+}
+
+// buildFaults resolves the fault-plane flags into a campaign fault
+// configuration, or nil when no fault flag is set (the zero-fault path,
+// byte-identical to a build without the fault plane).
+func buildFaults(maintHours, outageRate, outageHours, uploadLoss, churnWeekly float64, seed uint64) (*faults.Config, error) {
+	switch {
+	case maintHours < 0:
+		return nil, fmt.Errorf("-maintenance-hours must be >= 0, got %v", maintHours)
+	case outageRate < 0:
+		return nil, fmt.Errorf("-outage-rate must be >= 0, got %v", outageRate)
+	case outageRate > 0 && outageHours <= 0:
+		return nil, fmt.Errorf("-outage-hours must be > 0 with -outage-rate, got %v", outageHours)
+	case uploadLoss < 0 || uploadLoss >= 1:
+		return nil, fmt.Errorf("-upload-loss must be in [0, 1), got %v", uploadLoss)
+	case churnWeekly < 0 || churnWeekly >= 1:
+		return nil, fmt.Errorf("-churn-weekly must be in [0, 1), got %v", churnWeekly)
+	}
+	if maintHours == 0 && outageRate == 0 && uploadLoss == 0 && churnWeekly == 0 {
+		if seed != 0 {
+			return nil, fmt.Errorf("-fault-seed needs at least one fault flag (-maintenance-hours, -outage-rate, -upload-loss, -churn-weekly)")
+		}
+		return nil, nil
+	}
+	fc := &faults.Config{Seed: seed}
+	if maintHours > 0 {
+		fc.MaintenanceEvery = sim.Week
+		fc.MaintenanceDuration = maintHours * sim.Hour
+	}
+	if outageRate > 0 {
+		fc.UnplannedPerWeek = outageRate
+		fc.UnplannedMeanSeconds = outageHours * sim.Hour
+	}
+	if uploadLoss > 0 {
+		fc.UploadLossProb = uploadLoss
+		fc.UploadRetries = 3
+	}
+	if churnWeekly > 0 {
+		fc.ChurnPerWeek = churnWeekly
+	}
+	return fc, nil
 }
 
 // openProbe builds the -metrics/-trace observability probe for the single

@@ -9,7 +9,9 @@
 //	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-shards K] [-scale S]
 //	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
-//	      [-adaptive-streak N] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-adaptive-streak N] [-maintenance-hours H] [-outage-rate R]
+//	      [-outage-hours H] [-upload-loss P] [-churn-weekly F] [-fault-seed N]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //	      [-metrics FILE] [-trace FILE] [-progress D] [-sample-every S]
 //	sweep -corun [-scenarios all|a,b,c] [-reps R] [-workers W] [-scale S]
 //	      [-seed N] [-out DIR] [-metrics FILE] [-trace FILE] [-progress D]
@@ -38,9 +40,19 @@
 // -scheduler and -validator override the base configuration's grid
 // policies before each scenario's mutation is applied, so any catalog
 // scenario can be re-run under a different dispatch order or validation
-// regime. They cannot be combined with -resume: checkpoint cells do not
-// record policy overrides, so resuming across them would silently mix
-// regimes — use a fresh -checkpoint file.
+// regime. The fault flags (-maintenance-hours, -outage-rate, -outage-hours,
+// -upload-loss, -churn-weekly, -fault-seed) likewise install a fault plane
+// under the base configuration: planned weekly maintenance windows,
+// seeded unplanned outages, flaky result uploads, and permanent host
+// churn, with backoff-based graceful degradation on the hosts. None of
+// these overrides can be combined with -resume: checkpoint cells do not
+// record them, so resuming across them would silently mix regimes — use
+// a fresh -checkpoint file.
+//
+// SIGINT or SIGTERM drains gracefully: no new cells are dispatched,
+// in-flight runs finish and are checkpointed, and the process exits with
+// code 3 (distinct from failure's 1) so wrappers know -resume will pick
+// up exactly where the sweep stopped.
 //
 // With -out the sweep also writes sweep.json (all runs + aggregates) and
 // sweep.csv (per-scenario mean/std/ci95 rows). With -cpuprofile /
@@ -60,6 +72,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -68,21 +81,37 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/wcg"
 )
 
+// Exit codes: 0 success, 1 failure, 3 graceful drain — the sweep was
+// interrupted (SIGINT/SIGTERM), stopped dispatching new cells, let the
+// in-flight runs finish, and flushed the checkpoint, so -resume continues
+// from a consistent state. Scripts can tell "retry with -resume" (3) apart
+// from "something is wrong" (1).
+const exitDrained = 3
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+	err := run()
+	if err == nil {
+		return
 	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted — in-flight runs drained, checkpoint flushed")
+		os.Exit(exitDrained)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
 }
 
 func run() (err error) {
@@ -108,6 +137,12 @@ func run() (err error) {
 	tracePath := flag.String("trace", "", "write structured run-trace events (NDJSON) to this file")
 	progressEvery := flag.Duration("progress", 0, "print a live telemetry line at this wall-clock interval (e.g. 5s; 0 = off)")
 	sampleEvery := flag.Float64("sample-every", 0, "metrics sampling cadence in sim seconds (0 = half a sim day)")
+	maintHours := flag.Float64("maintenance-hours", 0, "planned weekly server maintenance window, in sim hours (0 = off)")
+	outageRate := flag.Float64("outage-rate", 0, "unplanned server outages per sim week (0 = off)")
+	outageHours := flag.Float64("outage-hours", 12, "mean unplanned outage duration in sim hours (with -outage-rate)")
+	uploadLoss := flag.Float64("upload-loss", 0, "per-result upload loss probability in [0,1) (0 = off; lost uploads retry 3 times)")
+	churnWeekly := flag.Float64("churn-weekly", 0, "fraction of the fleet departing permanently per sim week, replaced by fresh joins (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault-plane seed override (0 = derived from each run seed)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -179,7 +214,7 @@ func run() (err error) {
 		fmt.Fprintf(os.Stderr, "resuming: %d completed runs loaded from %s\n", ckpt.Len(), *ckptPath)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	nWorkers := *workers
@@ -190,12 +225,16 @@ func run() (err error) {
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g, shards %d)\n",
 		len(selected), *reps, total, nWorkers, *scale, *shards)
 
-	if *resume && (*scheduler != "" || *validator != "") {
-		return fmt.Errorf("-resume cannot be combined with -scheduler/-validator: checkpoint cells don't record the policy overrides they ran under; use a fresh -checkpoint file")
+	faultFlags := *maintHours != 0 || *outageRate != 0 || *uploadLoss != 0 || *churnWeekly != 0 || *faultSeed != 0
+	if *resume && (*scheduler != "" || *validator != "" || faultFlags) {
+		return fmt.Errorf("-resume cannot be combined with -scheduler/-validator or the fault flags: checkpoint cells don't record the overrides they ran under; use a fresh -checkpoint file")
 	}
 	sys := core.NewHCMD()
 	base := sys.CampaignConfig(*scale, *hours)
 	if err := applyPolicies(&base, *scheduler, *validator, *adaptiveStreak); err != nil {
+		return err
+	}
+	if err := applyFaults(&base, *maintHours, *outageRate, *outageHours, *uploadLoss, *churnWeekly, *faultSeed); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -231,8 +270,13 @@ func run() (err error) {
 	sweep, err := sys.RunExperiments(ctx, *scale, *hours, opts)
 	if err != nil {
 		if sweep != nil && len(sweep.Results) > 0 {
-			fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs; rerun with -resume to continue\n",
-				len(sweep.Results), total)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs; rerun with -resume to continue\n",
+					len(sweep.Results), total)
+			} else {
+				fmt.Fprintf(os.Stderr, "%d/%d runs completed, %d failed; failed cells are not checkpointed\n",
+					len(sweep.Results), total, len(sweep.Failed))
+			}
 			fmt.Print(experiment.Table(sweep.Aggregates).String())
 		}
 		return err
@@ -262,7 +306,7 @@ func runCoRuns(scenarios string, reps, workers int, scale float64, seed uint64, 
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	nWorkers := workers
@@ -447,6 +491,49 @@ func applyPolicies(base *project.Config, scheduler, validator string, streak int
 	default:
 		return fmt.Errorf("-validator: unknown policy %q (have quorum, adaptive)", validator)
 	}
+	return nil
+}
+
+// applyFaults resolves the fault-plane flags onto the base campaign
+// configuration. Like the policy overrides, fault overrides change run
+// outputs without changing the checkpoint key, so run() rejects them in
+// combination with -resume.
+func applyFaults(base *project.Config, maintHours, outageRate, outageHours, uploadLoss, churnWeekly float64, seed uint64) error {
+	switch {
+	case maintHours < 0:
+		return fmt.Errorf("-maintenance-hours must be >= 0, got %v", maintHours)
+	case outageRate < 0:
+		return fmt.Errorf("-outage-rate must be >= 0, got %v", outageRate)
+	case outageRate > 0 && outageHours <= 0:
+		return fmt.Errorf("-outage-hours must be > 0 with -outage-rate, got %v", outageHours)
+	case uploadLoss < 0 || uploadLoss >= 1:
+		return fmt.Errorf("-upload-loss must be in [0, 1), got %v", uploadLoss)
+	case churnWeekly < 0 || churnWeekly >= 1:
+		return fmt.Errorf("-churn-weekly must be in [0, 1), got %v", churnWeekly)
+	}
+	if maintHours == 0 && outageRate == 0 && uploadLoss == 0 && churnWeekly == 0 {
+		if seed != 0 {
+			return fmt.Errorf("-fault-seed needs at least one fault flag (-maintenance-hours, -outage-rate, -upload-loss, -churn-weekly)")
+		}
+		return nil
+	}
+	fc := &faults.Config{Seed: seed}
+	if maintHours > 0 {
+		fc.MaintenanceEvery = sim.Week
+		fc.MaintenanceDuration = maintHours * sim.Hour
+	}
+	if outageRate > 0 {
+		fc.UnplannedPerWeek = outageRate
+		fc.UnplannedMeanSeconds = outageHours * sim.Hour
+	}
+	if uploadLoss > 0 {
+		fc.UploadLossProb = uploadLoss
+		fc.UploadRetries = 3
+	}
+	if churnWeekly > 0 {
+		fc.ChurnPerWeek = churnWeekly
+	}
+	base.Faults = fc
 	return nil
 }
 

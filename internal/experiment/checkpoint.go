@@ -18,13 +18,20 @@ import (
 // seed and work scale match the current sweep, so a checkpoint from a sweep
 // with different parameters is ignored rather than silently mixed in.
 type Checkpoint struct {
-	mu   sync.Mutex
-	path string
-	done map[Key]RunResult
-	f    *os.File
-	w    *bufio.Writer
-	err  error // first write error, reported at Close
+	mu    sync.Mutex
+	path  string
+	done  map[Key]RunResult
+	f     *os.File
+	w     *bufio.Writer
+	lines int   // cells appended since open (drives the periodic fsync)
+	err   error // first write error, reported at Close
 }
+
+// ckptSyncEvery is the fsync cadence: every N appended cells the file is
+// synced to stable storage, so a machine crash (not just a process kill,
+// which the per-cell Flush already covers) loses at most one window of
+// cells. Close syncs unconditionally.
+const ckptSyncEvery = 32
 
 // OpenCheckpoint opens (creating if needed) the checkpoint at path and loads
 // any cells a previous sweep recorded. With resume=false an existing file is
@@ -93,6 +100,12 @@ func (c *Checkpoint) Record(res RunResult) {
 	if err == nil {
 		err = c.w.Flush()
 	}
+	if err == nil {
+		c.lines++
+		if c.lines%ckptSyncEvery == 0 {
+			err = c.f.Sync()
+		}
+	}
 	if err != nil && c.err == nil {
 		c.err = err
 	}
@@ -107,6 +120,7 @@ func (c *Checkpoint) Close() error {
 		return c.err
 	}
 	ferr := c.w.Flush()
+	serr := c.f.Sync()
 	cerr := c.f.Close()
 	c.f = nil
 	switch {
@@ -114,6 +128,8 @@ func (c *Checkpoint) Close() error {
 		return c.err
 	case ferr != nil:
 		return ferr
+	case serr != nil:
+		return serr
 	default:
 		return cerr
 	}

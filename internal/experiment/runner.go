@@ -25,11 +25,20 @@ type Metrics struct {
 	CPUSeconds     float64 `json:"cpu_seconds"`
 	PointsTotal    float64 `json:"points_total"` // §8 credit accounting
 	DistinctWUs    int64   `json:"distinct_wus"`
+
+	// Fault-plane metrics, filled from Report.Faults. All zero — and
+	// omitted from the JSON rendering — on fault-free runs, so pre-fault
+	// checkpoint lines still match byte for byte.
+	DowntimeHours   float64 `json:"downtime_hours,omitempty"`
+	LostUploads     int64   `json:"lost_uploads,omitempty"`
+	DroppedResults  int64   `json:"dropped_results,omitempty"`
+	ChurnedHosts    int64   `json:"churned_hosts,omitempty"`
+	MeanRecoverySec float64 `json:"mean_recovery_seconds,omitempty"`
 }
 
 // ExtractMetrics reduces a campaign report to sweep metrics.
 func ExtractMetrics(rep *project.Report) Metrics {
-	return Metrics{
+	m := Metrics{
 		Completed:      rep.Completed,
 		MakespanWeeks:  rep.WeeksElapsed,
 		Redundancy:     rep.ServerStats.RedundancyFactor(),
@@ -41,6 +50,14 @@ func ExtractMetrics(rep *project.Report) Metrics {
 		PointsTotal:    rep.PointsTotal,
 		DistinctWUs:    rep.DistinctWUs,
 	}
+	if f := rep.Faults; f != nil {
+		m.DowntimeHours = f.DowntimeSeconds / 3600
+		m.LostUploads = f.LostUploads
+		m.DroppedResults = f.DroppedResults
+		m.ChurnedHosts = f.Departures
+		m.MeanRecoverySec = f.MeanRecoverySeconds
+	}
+	return m
 }
 
 // RunResult is one completed (scenario, replication) cell of a sweep. Seed,
@@ -53,6 +70,12 @@ type RunResult struct {
 	Scale    float64 `json:"scale"`
 	HHours   float64 `json:"h_hours"`
 	Metrics  Metrics `json:"metrics"`
+
+	// Failed marks a cell whose simulation panicked twice (see Run's
+	// per-cell isolation); Error carries the second panic message. Failed
+	// cells are never checkpointed, so a resumed sweep retries them.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Key identifies a sweep cell for checkpoint resume.
@@ -124,6 +147,11 @@ type Sweep struct {
 	Results    []RunResult `json:"results"`
 	Aggregates []Aggregate `json:"aggregates"`
 	Resumed    int         `json:"resumed"` // cells satisfied from the checkpoint
+
+	// Failed holds the cells whose simulations panicked twice; they are
+	// excluded from Results and Aggregates. Run also returns an error when
+	// any cell lands here, so unnoticed partial sweeps cannot happen.
+	Failed []RunResult `json:"failed,omitempty"`
 }
 
 // DeriveSeed mixes the sweep base seed with a cell's scenario and
@@ -223,16 +251,18 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 						continue
 					}
 				}
-				cfg := opts.Base // shallow copy; DS and M stay shared read-only
-				cfg.Seed = seed
-				sc.Mutate(&cfg)
-				cfg.Seed = seed // a mutator must not undo the derived seed
-				if opts.Shards > 0 {
-					cfg.Shards = opts.Shards // execution plan, not an experiment variable
-				}
-				cfg.Probe = cp.arm(sc.Name, c.rep)
 				cellStart := time.Now()
-				rep := runner.Run(cfg)
+				rep, panicMsg := runCell(runner, &opts, sc, c.rep, seed, cp.arm(sc.Name, c.rep))
+				if rep == nil {
+					// The panic may have left the pooled run context mid-run
+					// and inconsistent; rebuild it and retry the cell once on
+					// fresh arenas.
+					runner = project.NewRunner()
+					rep, panicMsg = runCell(runner, &opts, sc, c.rep, seed, cp.arm(sc.Name, c.rep))
+					if rep == nil {
+						runner = project.NewRunner() // don't poison later cells
+					}
+				}
 				wall := time.Since(cellStart).Seconds()
 				cp.flush(sc.Name, c.rep)
 				res := RunResult{
@@ -241,10 +271,15 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					Seed:     seed,
 					Scale:    opts.Base.WorkScale,
 					HHours:   opts.Base.HHours,
-					Metrics:  ExtractMetrics(rep),
 				}
-				if opts.Checkpoint != nil {
-					opts.Checkpoint.Record(res)
+				if rep != nil {
+					res.Metrics = ExtractMetrics(rep)
+					if opts.Checkpoint != nil {
+						opts.Checkpoint.Record(res)
+					}
+				} else {
+					res.Failed = true
+					res.Error = panicMsg
 				}
 				finish(i, res, false, wall)
 			}
@@ -264,21 +299,50 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
-	if ctxErr != nil {
-		// Keep only the cells that actually finished, in order.
-		partial := make([]RunResult, 0, done)
-		for _, r := range results {
-			if r.Scenario != "" {
-				partial = append(partial, r)
-			}
+	// Assemble in deterministic cell order, splitting out never-dispatched
+	// cells (cancelled sweeps) and twice-panicked ones.
+	finished := make([]RunResult, 0, done)
+	var failed []RunResult
+	for _, r := range results {
+		switch {
+		case r.Scenario == "": // never dispatched
+		case r.Failed:
+			failed = append(failed, r)
+		default:
+			finished = append(finished, r)
 		}
-		sw := &Sweep{Results: partial, Resumed: resumed}
-		sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), partial)
+	}
+	sw := &Sweep{Results: finished, Failed: failed, Resumed: resumed}
+	sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), finished)
+	if ctxErr != nil {
 		return sw, ctxErr
 	}
-	sw := &Sweep{Results: results, Resumed: resumed}
-	sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), results)
+	if len(failed) > 0 {
+		f := failed[0]
+		return sw, fmt.Errorf("experiment: %d of %d cells failed after a retry (first: %s rep %d: %s)",
+			len(failed), total, f.Scenario, f.Rep, f.Error)
+	}
 	return sw, nil
+}
+
+// runCell runs one sweep cell — scenario mutation included — converting a
+// panic anywhere in it into a nil report plus the panic message, so one
+// poisoned cell cannot take down the worker (and with it the whole sweep).
+func runCell(runner *project.Runner, opts *Options, sc Scenario, rep int, seed uint64, probe *obs.Probe) (r *project.Report, panicMsg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, panicMsg = nil, fmt.Sprint(p)
+		}
+	}()
+	cfg := opts.Base // shallow copy; DS and M stay shared read-only
+	cfg.Seed = seed
+	sc.Mutate(&cfg)
+	cfg.Seed = seed // a mutator must not undo the derived seed
+	if opts.Shards > 0 {
+		cfg.Shards = opts.Shards // execution plan, not an experiment variable
+	}
+	cfg.Probe = probe
+	return runner.Run(cfg), ""
 }
 
 func orderedNames(scenarios []Scenario) []string {

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/project"
 	"repro/internal/sim"
 	"repro/internal/volunteer"
@@ -35,8 +36,9 @@ type Scenario struct {
 // (launch order, quorum regime, deadline, packaging, phase schedule, grid
 // growth, phase II plan) plus the policy-layer scenarios that swap whole
 // mechanisms — dispatch order, adaptive replication, deadline classes,
-// saboteur and diurnal host cohorts. The order is the canonical
-// presentation order of sweep reports.
+// saboteur and diurnal host cohorts — and the fault-plane scenarios that
+// stress graceful degradation under outages, flaky uplinks, and churn.
+// The order is the canonical presentation order of sweep reports.
 func Catalog() []Scenario {
 	return []Scenario{
 		{
@@ -196,6 +198,75 @@ func Catalog() []Scenario {
 			Description: "day-cycle fleet: every device online 14h/day with phases spread around the clock",
 			Mutate: func(cfg *project.Config) {
 				cfg.Host.Profiles = volunteer.DiurnalProfiles(volunteer.DefaultOnlineHours, cfg.Host.ErrorProb)
+			},
+		},
+		// --- Fault scenarios: the internal/faults plane — outages, flaky
+		// uplinks, churn — with backoff-based graceful degradation. Each
+		// Mutate builds a fresh faults.Config so the mutators stay pure. ---
+		{
+			Name:        "weekly-maintenance",
+			Description: "planned ops: a 4-hour server maintenance window every week, hosts back off and reconnect smeared",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{
+					MaintenanceEvery:    sim.Week,
+					MaintenanceOffset:   2*sim.Day + 2*sim.Hour,
+					MaintenanceDuration: 4 * sim.Hour,
+				}
+			},
+		},
+		{
+			Name:        "unplanned-24h-outage",
+			Description: "rare disaster: unplanned outages averaging 24 hours roughly twice a year",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{
+					UnplannedPerWeek:     1.0 / 26,
+					UnplannedMeanSeconds: 24 * sim.Hour,
+				}
+			},
+		},
+		{
+			Name:        "flaky-uplink-1pct",
+			Description: "lossy last mile: 1% of result uploads vanish, three retries before a result is abandoned",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{
+					UploadLossProb: 0.01,
+					UploadRetries:  3,
+				}
+			},
+		},
+		{
+			Name:        "churn-steady",
+			Description: "volunteer churn: 3% of the fleet departs permanently each week, replaced by fresh joins",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{ChurnPerWeek: 0.03}
+			},
+		},
+		{
+			Name:        "outage-no-backoff",
+			Description: "degradation control: weekly maintenance with exponential backoff disabled (flat retry hammering)",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{
+					MaintenanceEvery:    sim.Week,
+					MaintenanceOffset:   2*sim.Day + 2*sim.Hour,
+					MaintenanceDuration: 4 * sim.Hour,
+					NoBackoff:           true,
+				}
+			},
+		},
+		{
+			Name:        "fault-storm",
+			Description: "everything at once: weekly maintenance, frequent unplanned outages, 2% upload loss, 5% weekly churn",
+			Mutate: func(cfg *project.Config) {
+				cfg.Faults = &faults.Config{
+					MaintenanceEvery:     sim.Week,
+					MaintenanceOffset:    2*sim.Day + 2*sim.Hour,
+					MaintenanceDuration:  4 * sim.Hour,
+					UnplannedPerWeek:     0.1,
+					UnplannedMeanSeconds: 12 * sim.Hour,
+					UploadLossProb:       0.02,
+					UploadRetries:        3,
+					ChurnPerWeek:         0.05,
+				}
 			},
 		},
 		{

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/credit"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/protein"
 	"repro/internal/rng"
@@ -100,6 +101,16 @@ type Config struct {
 
 	// SnapshotWeeks are the Figure 7 progression capture points.
 	SnapshotWeeks []float64
+
+	// Faults, when non-nil and enabled, injects the deterministic fault
+	// plane (internal/faults): server outage windows, flaky uploads, host
+	// churn, and the graceful-degradation behavior around them. nil — or a
+	// config injecting nothing — leaves every layer byte-identical to the
+	// fault-free code (the golden hashes pin this). A pointer with
+	// omitempty so fault-free configs marshal to exactly the pre-fault
+	// JSON. Single-project runs only; the shared multi-project grid
+	// rejects it.
+	Faults *faults.Config `json:",omitempty"`
 
 	// Probe, if non-nil, attaches the observability plane (metrics
 	// sampling and run tracing; see internal/obs) to the run. The probe is
@@ -217,6 +228,11 @@ type Report struct {
 	// Kernel accounting, for the performance trajectory (BENCH_campaign.json).
 	EventsExecuted uint64 // discrete events the kernel executed
 	PeakPending    int    // high-water mark of the event queue
+
+	// Faults summarizes the injected fault plane: downtime, upload losses,
+	// churn, recovery lag. nil — and absent from the JSON rendering — on
+	// fault-free runs, keeping the golden report bytes unchanged.
+	Faults *faults.Report `json:",omitempty"`
 }
 
 // SpeedDownObserved returns mean reported time / mean reference time per
@@ -264,6 +280,7 @@ type Campaign struct {
 	pop    *volunteer.Population  // legacy kernel (Shards == 0)
 	kern   *volunteer.ShardKernel // sharded mega-grid kernel (Shards > 0)
 	ledger *credit.Ledger
+	plane  *faults.Plane // fault plane; kept across resets, bound only on fault runs
 
 	// pooled marks a Runner-owned campaign: its arenas survive Run for the
 	// next reset. A one-shot campaign instead releases them when Run ends —
@@ -301,7 +318,27 @@ func checkConfig(cfg Config) Config {
 			p.Emit(at, "saboteur-turn", obs.Int("host", int64(id)))
 		}
 	}
+	if cfg.Faults.Enabled() {
+		norm := cfg.Faults.Normalized()
+		cfg.Faults = &norm
+		// Materialize the outage schedule once here; the plane recomputes
+		// the same windows from the same inputs, so the server's refusal
+		// gate and the plane's backoff advisor agree to the second.
+		cfg.Server.Outages = faults.ServerOutages(
+			faults.Windows(&norm, norm.EffectiveSeed(cfg.Seed), faultHorizon(cfg)))
+	} else {
+		// A present-but-inert fault config must not perturb anything: drop
+		// it so the run (and its report bytes) is exactly fault-free.
+		cfg.Faults = nil
+		cfg.Server.Outages = nil
+	}
 	return cfg
+}
+
+// faultHorizon bounds the materialized outage schedule: the full span the
+// engine can reach, including the straggler drain after MaxWeeks.
+func faultHorizon(cfg Config) float64 {
+	return cfg.MaxWeeks*sim.Week + 30*sim.Day
 }
 
 // New builds a campaign from the configuration.
@@ -309,14 +346,42 @@ func New(cfg Config) *Campaign {
 	cfg = checkConfig(cfg)
 	c := &Campaign{engine: sim.NewEngine()}
 	c.t.initTenant(cfg, wcg.NewServer(c.engine, cfg.Server))
+	ws := c.workSource(cfg)
 	if cfg.Shards > 0 {
-		c.kern = volunteer.NewShardKernel(c.engine, c.t.server, cfg.Host,
+		c.kern = volunteer.NewShardKernel(c.engine, ws, cfg.Host,
 			rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
 	} else {
-		c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
+		c.pop = volunteer.NewPopulation(c.engine, ws, cfg.Host, rng.New(cfg.Seed))
 	}
 	c.ledger = credit.NewLedger()
 	return c
+}
+
+// workSource resolves what the host kernel binds: the tenant's server
+// directly on a fault-free run (byte-identical to the pre-fault code), or
+// the fault plane wrapping it. The plane struct is pooled across resets;
+// only fault runs rearm and bind it.
+func (c *Campaign) workSource(cfg Config) volunteer.WorkSource {
+	if cfg.Faults == nil {
+		return c.t.server
+	}
+	seed := cfg.Faults.EffectiveSeed(cfg.Seed)
+	if c.plane == nil {
+		c.plane = faults.NewPlane(c.engine, c.t.server, *cfg.Faults, seed, faultHorizon(cfg))
+	} else {
+		c.plane.Reset(c.engine, c.t.server, *cfg.Faults, seed, faultHorizon(cfg))
+	}
+	return c.plane
+}
+
+// activePlane returns the fault plane when the current run has one bound,
+// nil otherwise (the plane struct may survive from an earlier pooled fault
+// run without being part of this run).
+func (c *Campaign) activePlane() *faults.Plane {
+	if c.t.cfg.Faults == nil {
+		return nil
+	}
+	return c.plane
 }
 
 // shardWindow picks the sharded kernel's barrier width: half the target
@@ -347,19 +412,21 @@ func (c *Campaign) reset(cfg Config) {
 	cfg = checkConfig(cfg)
 	c.engine.Reset()
 	c.t.server.Reset(cfg.Server)
+	ws := c.workSource(cfg)
 	if cfg.Shards > 0 {
 		if c.kern == nil {
-			c.kern = volunteer.NewShardKernel(c.engine, c.t.server, cfg.Host,
+			c.kern = volunteer.NewShardKernel(c.engine, ws, cfg.Host,
 				rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
 		} else {
-			c.kern.Reset(c.engine, c.t.server, cfg.Host,
+			c.kern.Reset(c.engine, ws, cfg.Host,
 				rng.New(cfg.Seed), cfg.Shards, shardWindow(cfg))
 		}
 	} else {
 		if c.pop == nil {
-			c.pop = volunteer.NewPopulation(c.engine, c.t.server, cfg.Host, rng.New(cfg.Seed))
+			c.pop = volunteer.NewPopulation(c.engine, ws, cfg.Host, rng.New(cfg.Seed))
 		} else {
 			c.pop.Reset(cfg.Host, rng.New(cfg.Seed))
+			c.pop.Rebind(ws) // the source wrapping may differ run to run
 		}
 	}
 	c.ledger.Reset()
@@ -454,10 +521,30 @@ func (c *Campaign) Run() *Report {
 			c.t.feed(c.pop.Active())
 		}
 	})
+	// Churn: permanent departures paired with replacement joins, sampled
+	// at a fixed cadence so the injection is an ordinary kernel event.
+	// SetTarget stops the oldest hosts and the restore spawns replacements
+	// from the same FIFO seed stream both kernels share.
+	var churn *sim.Ticker
+	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
+		churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
+			if done {
+				return
+			}
+			if n := plane.ChurnCount(c.pop.Active()); n > 0 {
+				a := c.pop.Active()
+				c.pop.SetTarget(a - n)
+				c.pop.SetTarget(a)
+			}
+		})
+	}
 
 	c.engine.RunUntil(cfg.MaxWeeks * sim.Week)
 	weekly.Stop()
 	daily.Stop()
+	if churn != nil {
+		churn.Stop()
+	}
 	// Drain any stragglers (late returns) without advancing phases.
 	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
 	if sampler != nil {
@@ -476,6 +563,10 @@ func (c *Campaign) Run() *Report {
 	r.MeanSpeedDown = c.pop.MeanSpeedDown()
 	r.HostsJoined = c.pop.TotalJoined()
 	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditPopulation(c.pop, c.ledger)
+	if plane := c.activePlane(); plane != nil {
+		fr := plane.BuildReport()
+		r.Faults = &fr
+	}
 	if !c.pooled {
 		// Release the run context: kernel, middleware, hosts, scratch. The
 		// returned report shares this struct, and a one-shot caller holding

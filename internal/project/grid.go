@@ -186,6 +186,12 @@ func checkGridConfig(cfg GridConfig) GridConfig {
 	}
 	projects := make([]Config, len(cfg.Projects))
 	for i, p := range cfg.Projects {
+		if p.Faults.Enabled() {
+			// The fault plane wraps a single-project work source; the mux
+			// path has no plane to wrap it with. Refuse loudly rather than
+			// run a silently fault-free tenant.
+			panic("project: the fault plane is single-project only (grid tenants cannot set Faults)")
+		}
 		p = checkConfig(p)
 		// Grid-level fields win: the tenant has no population of its own,
 		// and no phase schedule either — tenants contend from day one, so

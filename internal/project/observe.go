@@ -33,6 +33,16 @@ import (
 //	pending-events     gauge    kernel event-queue depth
 //	events-executed    counter  kernel events executed
 //	mux-debt-spread    gauge    (grid only) mean per-host debt max−min
+//
+// Fault runs (Config.Faults enabled) additionally register:
+//
+//	fault-refused         counter  work requests refused during outages
+//	fault-deferred        counter  results spooled for post-outage validation
+//	fault-lost-uploads    counter  upload attempts the flaky uplink ate
+//	fault-dropped-results counter  results abandoned after the retry budget
+//	fault-churned-hosts   counter  hosts permanently departed (churn)
+//
+// and the trace gains outage-begin / outage-recovered events.
 
 // bindProbe attaches the probe to a single-project campaign: rebinds the
 // registry to this run's objects, starts the observer sampler, and emits
@@ -56,7 +66,36 @@ func (c *Campaign) bindProbe(p *obs.Probe) *sim.Ticker {
 			reg.Sample(now)
 		})
 	}
+	c.bindFaultObs(p)
 	return sampler
+}
+
+// bindFaultObs attaches the fault-plane trace hooks and metric series when
+// the run has a fault plane bound. Fault-free runs register nothing, so
+// the metric catalog — and the probe-neutrality golden bytes — are
+// unchanged. Shared by bindProbe and bindProbeSharded (the plane lives on
+// the serial path in both kernels).
+func (c *Campaign) bindFaultObs(p *obs.Probe) {
+	pl := c.activePlane()
+	if pl == nil {
+		return
+	}
+	if p.Trace != nil {
+		pl.OnOutage = func(at sim.Time, planned bool) {
+			c.t.emit(at, "outage-begin", obs.Str("planned", boolStr(planned)))
+		}
+		pl.OnRecovery = func(at sim.Time, lag float64) {
+			c.t.emit(at, "outage-recovered", obs.Num("lag-seconds", lag))
+		}
+	}
+	if reg := p.Metrics; reg != nil {
+		srv := c.t.server
+		reg.Counter("fault-refused", func() float64 { return float64(srv.Stats.Refused) })
+		reg.Counter("fault-deferred", func() float64 { return float64(srv.Stats.Deferred) })
+		reg.Counter("fault-lost-uploads", func() float64 { return float64(pl.Stats.LostUploads) })
+		reg.Counter("fault-dropped-results", func() float64 { return float64(pl.Stats.DroppedResults) })
+		reg.Counter("fault-churned-hosts", func() float64 { return float64(pl.Stats.Departures) })
+	}
 }
 
 // bindProbe attaches the probe to a shared multi-project grid: tenant-

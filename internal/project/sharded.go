@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/credit"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/volunteer"
@@ -81,10 +82,30 @@ func (c *Campaign) runSharded() *Report {
 			c.t.feed(kern.Active())
 		}
 	})
+	// Churn mirror of Run: same cadence, same SetTarget pair, so the
+	// sharded kernel sees departures and replacement joins at exactly the
+	// legacy moments (replacements draw their seeds FIFO from the same
+	// stream, whether they come from the slot pool or inline builds).
+	var churn *sim.Ticker
+	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
+		churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
+			if done {
+				return
+			}
+			if n := plane.ChurnCount(kern.Active()); n > 0 {
+				a := kern.Active()
+				kern.SetTarget(a - n)
+				kern.SetTarget(a)
+			}
+		})
+	}
 
 	kern.RunUntil(cfg.MaxWeeks * sim.Week)
 	weekly.Stop()
 	daily.Stop()
+	if churn != nil {
+		churn.Stop()
+	}
 	// Drain stragglers (late returns) without advancing phases — and
 	// without forecasting spawns for ticks that will never fire.
 	kern.SpawnHint = nil
@@ -105,6 +126,10 @@ func (c *Campaign) runSharded() *Report {
 	r.MeanSpeedDown = kern.MeanSpeedDown()
 	r.HostsJoined = kern.TotalJoined()
 	r.PointsTotal, r.AccountingBias, r.HardwareTrend = creditKernel(kern, c.ledger)
+	if plane := c.activePlane(); plane != nil {
+		fr := plane.BuildReport()
+		r.Faults = &fr
+	}
 	if !c.pooled {
 		c.engine, c.kern, c.ledger = nil, nil, nil
 		c.t.release()
@@ -136,6 +161,7 @@ func (c *Campaign) bindProbeSharded(p *obs.Probe) *sim.Ticker {
 			reg.Sample(now)
 		})
 	}
+	c.bindFaultObs(p)
 	return sampler
 }
 

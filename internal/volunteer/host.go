@@ -176,9 +176,10 @@ type Host struct {
 
 	cfg    HostConfig
 	engine *sim.Engine
-	server WorkSource // single-project: the *wcg.Server itself; multi: &h.port
-	port   MuxPort    // by value: a pooled host re-arms it in place, no allocation
-	src    rng.Source // by value: a pooled host reseeds in place, no allocation
+	server WorkSource   // single-project: the *wcg.Server itself; multi: &h.port
+	retry  RetryAdvisor // server's optional backoff advisor; nil = flat IdleRetry
+	port   MuxPort      // by value: a pooled host re-arms it in place, no allocation
+	src    rng.Source   // by value: a pooled host reseeds in place, no allocation
 
 	// Effective behavior, resolved at init from the flat config or the
 	// host's drawn cohort (see BehaviorProfile).
@@ -265,6 +266,7 @@ func (h *Host) init(id int, engine *sim.Engine, server WorkSource, cfg HostConfi
 	h.cfg = cfg
 	h.engine = engine
 	h.server = server
+	h.retry, _ = server.(RetryAdvisor)
 	// Resolve the effective behavior: the flat config draws nothing extra
 	// (bit-for-bit the pre-profile stream); a profiled population draws
 	// the cohort (and, for diurnal cohorts, the phase) from the host's
@@ -358,7 +360,13 @@ func (h *Host) requestWork() {
 		h.cache = append(h.cache, a)
 	}
 	if len(h.cache) == 0 {
-		h.engine.ScheduleAfter(h.cfg.IdleRetry, h.requestFn)
+		d := h.cfg.IdleRetry
+		if h.retry != nil {
+			// The server's advisor (the fault plane) may stretch the wait:
+			// exponential backoff during an outage, smear after maintenance.
+			d = h.retry.FetchRetryDelay(h.ID, d)
+		}
+		h.engine.ScheduleAfter(d, h.requestFn)
 		return
 	}
 	if h.busy {

@@ -83,6 +83,7 @@ func planeEventLess(a, b planeEvent) int {
 type ShardKernel struct {
 	eng    *sim.Engine
 	server WorkSource
+	retry  RetryAdvisor // server's optional backoff advisor; nil = flat IdleRetry
 	cfg    HostConfig
 	r      *rng.Source // population stream: host seeds only
 
@@ -176,6 +177,7 @@ func (k *ShardKernel) Reset(engine *sim.Engine, server WorkSource, cfg HostConfi
 	}
 	k.eng = engine
 	k.server = server
+	k.retry, _ = server.(RetryAdvisor)
 	k.cfg = cfg
 	k.r = r
 	k.sigma = cfg.SpeedDownSigma

@@ -285,7 +285,14 @@ func (k *ShardKernel) fetch(h int32) {
 	}
 	k.cacheLen[h] = int32(n)
 	if n == 0 {
-		k.scheduleHostEvent(h, evFetch, k.eng.Now()+k.cfg.IdleRetry)
+		d := k.cfg.IdleRetry
+		if k.retry != nil {
+			// Same advisor hook as Host.requestWork: the fault plane
+			// stretches the wait during outages. The draw is a stateless
+			// hash of (host, window, attempt), so shard order is irrelevant.
+			d = k.retry.FetchRetryDelay(int(h), d)
+		}
+		k.scheduleHostEvent(h, evFetch, k.eng.Now()+d)
 		return
 	}
 	if k.flags[h]&hfBusy != 0 {

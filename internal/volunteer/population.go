@@ -60,6 +60,17 @@ func (p *Population) Reset(cfg HostConfig, r *rng.Source) {
 	p.active, p.nextID, p.firstActive = 0, 0, 0
 }
 
+// Rebind swaps the work source every subsequently spawned host binds to.
+// A pooled campaign calls it right after Reset, before any spawn, when the
+// source wrapping changes between runs (the fault plane wraps the server
+// on fault runs and is absent on fault-free ones). Multiplexed populations
+// ignore it — their hosts bind their own ports.
+func (p *Population) Rebind(server WorkSource) {
+	if p.mux == nil {
+		p.server = server
+	}
+}
+
 // spawn creates (or recycles) one host seeded from the population stream.
 // The seed derivation matches what NewHost(..., p.r.Split()) produced
 // before pooling existed, so populations are bit-for-bit reproducible. On

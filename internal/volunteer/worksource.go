@@ -32,3 +32,22 @@ type WorkSource interface {
 
 // The production server satisfies WorkSource by construction.
 var _ WorkSource = (*wcg.Server)(nil)
+
+// RetryAdvisor is an optional WorkSource extension: when a host's fetch
+// comes up empty, the advisor decides how long to wait before the next
+// attempt instead of the flat Config.IdleRetry. The fault plane
+// (internal/faults) implements it to substitute capped exponential backoff
+// with seeded jitter while the server is down, and announced-maintenance
+// deferral with reconnect smearing.
+//
+// Both kernels resolve the advisor once, by type assertion at bind time; a
+// plain *wcg.Server (which does not implement it) costs one nil check per
+// idle retry and keeps the flat delay — byte-identical to the pre-advisor
+// code.
+type RetryAdvisor interface {
+	// FetchRetryDelay returns how long host should wait before its next
+	// fetch given the configured flat idle-retry delay. Must be positive
+	// and deterministic in (simulation state, host, call order) — the
+	// same contract as WorkSource.
+	FetchRetryDelay(host int, idleRetry float64) float64
+}
