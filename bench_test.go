@@ -11,8 +11,11 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/protein"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/validate"
 	"repro/internal/vftp"
@@ -291,6 +295,102 @@ func BenchmarkSweepCell(b *testing.B) {
 	recordBench(b, "BenchmarkSweepCell", benchLabel(), cfg, rep,
 		elapsed.Nanoseconds()/int64(b.N), steadyBytes,
 		int64(ms1.Mallocs-ms0.Mallocs)/int64(b.N))
+}
+
+// forkWhatIfGroup is the week-14 what-if group: eight variants of the
+// deployed quorum-switch week, every one behavior-identical to the base
+// trajectory until the base switches at week 14 — the canonical use case
+// for prefix-shared sweeps (what if the team had kept quorum 2 longer?).
+func forkWhatIfGroup() []experiment.Scenario {
+	var scens []experiment.Scenario
+	for k := 1; k <= 8; k++ {
+		wk := 14 + k
+		scens = append(scens, experiment.Scenario{
+			Name:        fmt.Sprintf("switch-w%d", wk),
+			Description: fmt.Sprintf("quorum 2→1 switch moved to week %d", wk),
+			DivergesAt:  14 * sim.Week,
+			Mutate: func(cfg *project.Config) {
+				cfg.Server.QuorumSwitchTime = sim.Time(wk) * sim.Week
+			},
+		})
+	}
+	return scens
+}
+
+// BenchmarkSweepForked measures the prefix-sharing payoff on the week-14
+// what-if group: with -fork the base trajectory runs once to the quorum
+// switch and all eight variants fork from the snapshot, simulating only
+// their post-divergence suffix. The base is the flat-share posture (no
+// control/ramp phase) with the fleet sized so the campaign completes a
+// couple of weeks past the switch — the regime the fork path is built
+// for, where nearly all simulated time is shared prefix. The unforked
+// reference runs outside the timed loop; speedup-x is its wall time over
+// the forked per-op time, and the benchmark fails if the two modes
+// disagree on a single result byte.
+func BenchmarkSweepForked(b *testing.B) {
+	cfg := system().CampaignConfig(1.0/84, 0) // the sweep CLI's default scale
+	cfg.ControlWeeks, cfg.RampWeeks = 0, 0    // flat share: quorum is the only divergence axis
+	cfg.HostScale = 2.5 / 84                  // completion lands shortly after the week-14 switch
+	opts := experiment.Options{
+		Base:      cfg,
+		Scenarios: forkWhatIfGroup(),
+		Reps:      1,
+		Workers:   1, // speedup-x measures simulation work saved, not parallelism
+	}
+
+	t0 := time.Now()
+	unforked, err := experiment.Run(context.Background(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unforkedSecs := time.Since(t0).Seconds()
+
+	opts.Fork = true
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	var sweep *experiment.Sweep
+	for i := 0; i < b.N; i++ {
+		sweep, err = experiment.Run(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	if !reflect.DeepEqual(unforked.Results, sweep.Results) {
+		b.Fatal("forked sweep results differ from unforked")
+	}
+	if sweep.PrefixHits != len(opts.Scenarios) {
+		b.Fatalf("prefix hits = %d, want %d (a fork fell back to a standalone run)",
+			sweep.PrefixHits, len(opts.Scenarios))
+	}
+	forkedSecs := elapsed.Seconds() / float64(b.N)
+	b.ReportMetric(unforkedSecs/forkedSecs, "speedup-x")
+	b.ReportMetric(sweep.SavedSimWeeks, "saved-sim-weeks")
+	b.ReportMetric(float64(sweep.PrefixHits), "prefix-hits")
+
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		run := experiment.BenchRun{
+			Benchmark:   "BenchmarkSweepForked",
+			Label:       benchLabel(),
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			Scale:       cfg.WorkScale,
+			HostScale:   cfg.HostScale,
+			NsPerOp:     elapsed.Nanoseconds() / int64(b.N),
+			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+			SimWeeks:    sweep.SavedSimWeeks,
+		}
+		if err := experiment.AppendBenchRun(path, run); err != nil {
+			b.Fatalf("recording bench run: %v", err)
+		}
+		b.Logf("recorded BenchmarkSweepForked (%s) in %s", run.Label, path)
+	}
 }
 
 // benchLabel tags recorded runs; CI sets BENCH_LABEL to the PR/commit.

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	sweep -list
-//	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-shards K] [-scale S]
-//	      [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
+//	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-shards K] [-fork]
+//	      [-scale S] [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
 //	      [-adaptive-streak N] [-maintenance-hours H] [-outage-rate R]
 //	      [-outage-hours H] [-upload-loss P] [-churn-weekly F] [-fault-seed N]
@@ -29,6 +29,17 @@
 // multiplexer, and the headline metric is how closely each tenant's
 // measured grid share tracks its configured resource share. Co-runs have
 // no checkpoint path and ignore the policy-override flags.
+//
+// -fork turns on prefix-shared execution: scenarios whose catalog entry
+// carries a divergence-time hint share the common prefix of their
+// trajectory — it is simulated once per replication, an in-memory snapshot
+// is taken at each divergence point, and every what-if cell forks from the
+// snapshot and simulates only its suffix. Results and aggregates are
+// byte-identical to an unforked sweep (grouped scenarios share one derived
+// trajectory seed per replication either way), so -fork composes with
+// -resume and -shards; only wall clock and the summary's prefix stats
+// change. Forked cells run unprobed (-metrics/-trace samples are skipped
+// for them). Ignored with -corun.
 //
 // -shards K runs every cell on the sharded campaign kernel with K worker
 // shards instead of the legacy single-heap kernel. Results are
@@ -121,6 +132,7 @@ func run() (err error) {
 	reps := flag.Int("reps", 3, "replications per scenario")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "per-campaign sharded-kernel shards (0 = legacy kernel; results are byte-identical either way; ignored with -corun)")
+	fork := flag.Bool("fork", false, "share scenario prefixes: run each replication's common trajectory once and fork what-if cells from in-memory snapshots (results are byte-identical either way; ignored with -corun)")
 	scale := flag.Float64("scale", 1.0/84, "work and host scale (0 < s <= 1)")
 	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
 	seed := flag.Uint64("seed", 0, "sweep base seed (0 = campaign default)")
@@ -222,8 +234,12 @@ func run() (err error) {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	total := len(selected) * *reps
-	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g, shards %d)\n",
-		len(selected), *reps, total, nWorkers, *scale, *shards)
+	forkNote := ""
+	if *fork {
+		forkNote = ", prefix-forked"
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g, shards %d%s)\n",
+		len(selected), *reps, total, nWorkers, *scale, *shards, forkNote)
 
 	faultFlags := *maintHours != 0 || *outageRate != 0 || *uploadLoss != 0 || *churnWeekly != 0 || *faultSeed != 0
 	if *resume && (*scheduler != "" || *validator != "" || faultFlags) {
@@ -239,7 +255,7 @@ func run() (err error) {
 	}
 	start := time.Now()
 	tracker := experiment.NewTracker(total)
-	tracker.Workers, tracker.Shards = nWorkers, *shards
+	tracker.Workers, tracker.Shards, tracker.Forked = nWorkers, *shards, *fork
 	stopTicker := startTicker(tracker, *progressEvery, msink)
 	defer stopTicker()
 	opts := experiment.Options{
@@ -248,6 +264,7 @@ func run() (err error) {
 		Reps:        *reps,
 		Workers:     *workers,
 		Shards:      *shards,
+		Fork:        *fork,
 		BaseSeed:    *seed,
 		Checkpoint:  ckpt,
 		MetricsSink: msink,
@@ -285,7 +302,13 @@ func run() (err error) {
 
 	fmt.Fprintf(os.Stderr, "done: %d runs (%d resumed) in %.1fs\n",
 		len(sweep.Results), sweep.Resumed, time.Since(start).Seconds())
+	tracker.RecordPrefix(sweep.PrefixGroups, sweep.PrefixHits, sweep.SavedSimWeeks)
 	printSummary(tracker)
+	if msink != nil {
+		// Close the metrics NDJSON with one final sweep-telemetry record so
+		// the end-of-sweep totals (prefix stats included) are machine-readable.
+		msink.WriteLine(obs.Line(tracker.Snapshot().Fields()...))
+	}
 	fmt.Print(experiment.Table(sweep.Aggregates).String())
 
 	if *out != "" {
@@ -455,11 +478,16 @@ func startTicker(tr *experiment.Tracker, every time.Duration, metrics *obs.Sink)
 }
 
 // printSummary emits the end-of-sweep resource line: cell throughput and
-// process memory, so even a -q run leaves a one-line wall-time record.
+// process memory, so even a -q run leaves a one-line wall-time record. A
+// forked sweep appends its prefix-sharing stats.
 func printSummary(tr *experiment.Tracker) {
 	t := tr.Snapshot()
 	fmt.Fprintf(os.Stderr, "summary: %d cells in %.1fs, %.2f cells/s, mean cell %.2fs, %d workers (GOMAXPROCS %d), %d shards, %.1f MB sys (peak RSS), %.1f MB allocated\n",
 		t.Done, t.ElapsedSeconds, t.CellsPerSec, t.MeanCellSeconds, t.Workers, t.Gomaxprocs, t.Shards, t.SysMB, t.TotalAllocMB)
+	if t.Forked {
+		fmt.Fprintf(os.Stderr, "prefix sharing: %d groups snapshotted, %d cells forked, %.1f sim-weeks saved\n",
+			t.PrefixGroups, t.PrefixHits, t.SavedSimWeeks)
+	}
 }
 
 // applyPolicies resolves the -scheduler/-validator flags onto the base

@@ -1,0 +1,35 @@
+package credit
+
+import "repro/internal/snapshot"
+
+// LedgerSnapshot captures a Ledger's dense accounting arrays and counters
+// so a run context can be rewound to an event boundary (see the snapshot
+// package doc for the slice rule). In the campaign the ledger is only
+// written during the run's finish phase, so the capture at a mid-run
+// divergence point is cheap — but the restore is what guarantees a forked
+// suffix re-credits from a clean slate.
+type LedgerSnapshot struct {
+	devices          snapshot.Slice[Device]
+	points           snapshot.Slice[float64]
+	weekly           snapshot.Slice[float64]
+	n                int
+	total, reportedS float64
+}
+
+// Capture records l's complete state.
+func (s *LedgerSnapshot) Capture(l *Ledger) {
+	s.devices.Capture(l.devices)
+	s.points.Capture(l.points)
+	s.weekly.Capture(l.weekly)
+	s.n = l.n
+	s.total, s.reportedS = l.total, l.reportedS
+}
+
+// Restore rewinds l to the captured state.
+func (s *LedgerSnapshot) Restore(l *Ledger) {
+	l.devices = s.devices.Restore()
+	l.points = s.points.Restore()
+	l.weekly = s.weekly.Restore()
+	l.n = s.n
+	l.total, l.reportedS = s.total, s.reportedS
+}

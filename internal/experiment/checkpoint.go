@@ -51,6 +51,12 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 				if err := json.Unmarshal(line, &res); err != nil {
 					continue
 				}
+				if res.Failed {
+					// A failed cell in the file (written by hand or by an
+					// older build — Record refuses them) must be re-run on
+					// resume, not replayed as a result.
+					continue
+				}
 				c.done[Key{Scenario: res.Scenario, Rep: res.Rep}] = res
 			}
 		} else if !os.IsNotExist(err) {
@@ -88,8 +94,12 @@ func (c *Checkpoint) Lookup(k Key) (RunResult, bool) {
 }
 
 // Record persists one freshly completed cell and flushes it to disk.
-// Safe for concurrent use by the runner's workers.
+// Failed cells are dropped: a resumed sweep must retry them, so nothing
+// may mark them done. Safe for concurrent use by the runner's workers.
 func (c *Checkpoint) Record(res RunResult) {
+	if res.Failed {
+		return
+	}
 	line, err := json.Marshal(res)
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/project"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Metrics is the per-run outcome summary the sweep aggregates: the paper's
@@ -129,6 +130,17 @@ type Options struct {
 	// serialized by the runner's internal lock.
 	Progress func(Progress)
 
+	// Fork enables prefix-shared execution: scenarios carrying a DivergesAt
+	// hint are grouped per replication, the shared prefix of their common
+	// trajectory runs once, and each cell forks from an in-memory snapshot
+	// at its divergence time (the project.Runner fork path). Results and
+	// aggregates are byte-identical to an unforked sweep — grouped
+	// scenarios share one derived trajectory seed per replication in both
+	// modes — only wall clock and the Sweep.Prefix* stats change. Grouped
+	// cells run unprobed: MetricsSink/TraceSink samples are skipped for
+	// them in fork mode.
+	Fork bool
+
 	// MetricsSink / TraceSink, when non-nil, attach a pooled obs probe to
 	// every cell: each worker owns a registry and trace (re-tagged with
 	// scenario/rep per cell) and exports to these shared, mutex-guarded
@@ -152,6 +164,12 @@ type Sweep struct {
 	// excluded from Results and Aggregates. Run also returns an error when
 	// any cell lands here, so unnoticed partial sweeps cannot happen.
 	Failed []RunResult `json:"failed,omitempty"`
+
+	// Prefix-sharing statistics, filled only in fork mode. Excluded from
+	// the JSON rendering so forked and unforked sweep files diff clean.
+	PrefixGroups  int     `json:"-"` // snapshots taken across all prefix trees
+	PrefixHits    int     `json:"-"` // cells satisfied by forking a snapshot
+	SavedSimWeeks float64 `json:"-"` // sim-weeks not re-simulated thanks to sharing
 }
 
 // DeriveSeed mixes the sweep base seed with a cell's scenario and
@@ -202,10 +220,25 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 	total := len(cells)
 	results := make([]RunResult, total)
 
+	// The prefix plan exists whether or not the sweep forks: grouped
+	// scenarios (DivergesAt > 0) share one trajectory seed per replication
+	// in both modes, so a forked sweep's results are byte-identical to an
+	// unforked one and checkpoints transfer between the two.
+	plan := planPrefix(opts.Scenarios)
+	seedFor := func(scenIdx, rep int) uint64 {
+		if plan != nil && opts.Scenarios[scenIdx].DivergesAt > 0 {
+			scenIdx = plan.root
+		}
+		return DeriveSeed(baseSeed, scenIdx, rep)
+	}
+
 	var (
-		mu      sync.Mutex
-		done    int
-		resumed int
+		mu           sync.Mutex
+		done         int
+		resumed      int
+		prefixGroups int
+		prefixHits   int
+		savedWeeks   float64
 	)
 	start := time.Now()
 	finish := func(i int, res RunResult, fromCkpt bool, wall float64) {
@@ -226,7 +259,37 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		}
 	}
 
-	jobs := make(chan int)
+	// A job is either one standalone cell (cell ≥ 0) or one replication's
+	// prefix tree (cell == -1): every grouped scenario of that rep, run by
+	// forking snapshots off a single shared-prefix trajectory.
+	type job struct {
+		cell int
+		rep  int
+	}
+	var jobList []job
+	forking := opts.Fork && plan != nil
+	if forking {
+		// Tree jobs first: they are the largest units of work, so handing
+		// them out before the standalone cells balances the worker pool.
+		for r := 0; r < opts.Reps; r++ {
+			jobList = append(jobList, job{cell: -1, rep: r})
+		}
+		inTree := make([]bool, len(opts.Scenarios))
+		for _, si := range plan.cells() {
+			inTree[si] = true
+		}
+		for i, c := range cells {
+			if !inTree[c.scenIdx] {
+				jobList = append(jobList, job{cell: i})
+			}
+		}
+	} else {
+		for i := range cells {
+			jobList = append(jobList, job{cell: i})
+		}
+	}
+
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -238,18 +301,28 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 			// fine here: ExtractMetrics copies the scalars out immediately.
 			runner := project.NewRunner()
 			cp := newCellProbe(opts.MetricsSink, opts.TraceSink, opts.SampleEvery)
-			for i := range jobs {
+
+			// ckptHit finishes cell i from the checkpoint when its recorded
+			// parameters match the current sweep.
+			ckptHit := func(i int, sc Scenario, seed uint64) bool {
+				if opts.Checkpoint == nil {
+					return false
+				}
+				prev, ok := opts.Checkpoint.Lookup(Key{Scenario: sc.Name, Rep: cells[i].rep})
+				if !ok || prev.Seed != seed || prev.Scale != opts.Base.WorkScale ||
+					prev.HHours != opts.Base.HHours {
+					return false
+				}
+				finish(i, prev, true, 0)
+				return true
+			}
+
+			runStandalone := func(i int) {
 				c := cells[i]
 				sc := opts.Scenarios[c.scenIdx]
-				seed := DeriveSeed(baseSeed, c.scenIdx, c.rep)
-				key := Key{Scenario: sc.Name, Rep: c.rep}
-				if opts.Checkpoint != nil {
-					if prev, ok := opts.Checkpoint.Lookup(key); ok &&
-						prev.Seed == seed && prev.Scale == opts.Base.WorkScale &&
-						prev.HHours == opts.Base.HHours {
-						finish(i, prev, true, 0)
-						continue
-					}
+				seed := seedFor(c.scenIdx, c.rep)
+				if ckptHit(i, sc, seed) {
+					return
 				}
 				cellStart := time.Now()
 				rep, panicMsg := runCell(runner, &opts, sc, c.rep, seed, cp.arm(sc.Name, c.rep))
@@ -283,17 +356,122 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 				}
 				finish(i, res, false, wall)
 			}
+
+			// runTree walks one replication's prefix tree. Cells already in
+			// the checkpoint are finished as resumed before the walk; cells
+			// the walk forks are tracked in treeDone so the panic fallback
+			// reruns only the unfinished remainder standalone.
+			runTree := func(rep int) {
+				treeSeed := DeriveSeed(baseSeed, plan.root, rep)
+				type pendingGroup struct {
+					at    sim.Time
+					cells []int
+				}
+				var groups []pendingGroup
+				for _, g := range plan.groups {
+					pg := pendingGroup{at: g.at}
+					for _, si := range g.scens {
+						ci := si*opts.Reps + rep
+						if !ckptHit(ci, opts.Scenarios[si], treeSeed) {
+							pg.cells = append(pg.cells, ci)
+						}
+					}
+					if len(pg.cells) > 0 {
+						groups = append(groups, pg)
+					}
+				}
+				if len(groups) == 0 {
+					return // the whole tree resumed from the checkpoint
+				}
+				treeDone := make(map[int]bool)
+				ok := func() (ok bool) {
+					defer func() {
+						if p := recover(); p != nil {
+							ok = false
+						}
+					}()
+					var nGroups, nHits int
+					var saved float64
+					baseCfg := opts.Base
+					baseCfg.Seed = treeSeed
+					if opts.Shards > 0 {
+						baseCfg.Shards = opts.Shards
+					}
+					baseCfg.Probe = nil // forked cells run unprobed
+					runner.Begin(baseCfg)
+					for gi, g := range groups {
+						runner.RunTo(g.at)
+						runner.Snapshot()
+						nGroups++
+						for _, ci := range g.cells {
+							c := cells[ci]
+							sc := opts.Scenarios[c.scenIdx]
+							cellStart := time.Now()
+							rp := runner.Fork(cellConfig(&opts, sc, treeSeed, nil))
+							wall := time.Since(cellStart).Seconds()
+							res := RunResult{
+								Scenario: sc.Name,
+								Rep:      c.rep,
+								Seed:     treeSeed,
+								Scale:    opts.Base.WorkScale,
+								HHours:   opts.Base.HHours,
+								Metrics:  ExtractMetrics(rp),
+							}
+							if opts.Checkpoint != nil {
+								opts.Checkpoint.Record(res)
+							}
+							treeDone[ci] = true
+							nHits++
+							saved += float64(g.at) / float64(sim.Week)
+							finish(ci, res, false, wall)
+						}
+						if gi < len(groups)-1 {
+							runner.Restore()
+						}
+					}
+					// The shared prefix itself was simulated once, to the
+					// deepest divergence point.
+					saved -= float64(groups[len(groups)-1].at) / float64(sim.Week)
+					mu.Lock()
+					prefixGroups += nGroups
+					prefixHits += nHits
+					savedWeeks += saved
+					mu.Unlock()
+					return true
+				}()
+				if !ok {
+					// The panic may have left the pooled context mid-run and
+					// inconsistent; rebuild it and run the unfinished cells
+					// standalone (same seed, so results are unchanged).
+					runner = project.NewRunner()
+					for _, g := range groups {
+						for _, ci := range g.cells {
+							if !treeDone[ci] {
+								runStandalone(ci)
+							}
+						}
+					}
+				}
+			}
+
+			for j := range jobs {
+				if j.cell >= 0 {
+					runStandalone(j.cell)
+				} else {
+					runTree(j.rep)
+				}
+			}
 		}()
 	}
 
 	var ctxErr error
 dispatch:
-	for i := range cells {
+	for _, j := range jobList {
 		select {
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 			break dispatch
-		case jobs <- i:
+		case jobs <- j:
 		}
 	}
 	close(jobs)
@@ -312,7 +490,10 @@ dispatch:
 			finished = append(finished, r)
 		}
 	}
-	sw := &Sweep{Results: finished, Failed: failed, Resumed: resumed}
+	sw := &Sweep{
+		Results: finished, Failed: failed, Resumed: resumed,
+		PrefixGroups: prefixGroups, PrefixHits: prefixHits, SavedSimWeeks: savedWeeks,
+	}
 	sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), finished)
 	if ctxErr != nil {
 		return sw, ctxErr
@@ -325,6 +506,21 @@ dispatch:
 	return sw, nil
 }
 
+// cellConfig builds the campaign configuration for one sweep cell: a copy
+// of Base with the derived seed pinned across the scenario mutation, the
+// sweep's shard plan, and the cell's probe (nil for forked cells).
+func cellConfig(opts *Options, sc Scenario, seed uint64, probe *obs.Probe) project.Config {
+	cfg := opts.Base // shallow copy; DS and M stay shared read-only
+	cfg.Seed = seed
+	sc.Mutate(&cfg)
+	cfg.Seed = seed // a mutator must not undo the derived seed
+	if opts.Shards > 0 {
+		cfg.Shards = opts.Shards // execution plan, not an experiment variable
+	}
+	cfg.Probe = probe
+	return cfg
+}
+
 // runCell runs one sweep cell — scenario mutation included — converting a
 // panic anywhere in it into a nil report plus the panic message, so one
 // poisoned cell cannot take down the worker (and with it the whole sweep).
@@ -334,15 +530,7 @@ func runCell(runner *project.Runner, opts *Options, sc Scenario, rep int, seed u
 			r, panicMsg = nil, fmt.Sprint(p)
 		}
 	}()
-	cfg := opts.Base // shallow copy; DS and M stay shared read-only
-	cfg.Seed = seed
-	sc.Mutate(&cfg)
-	cfg.Seed = seed // a mutator must not undo the derived seed
-	if opts.Shards > 0 {
-		cfg.Shards = opts.Shards // execution plan, not an experiment variable
-	}
-	cfg.Probe = probe
-	return runner.Run(cfg), ""
+	return runner.Run(cellConfig(opts, sc, seed, probe)), ""
 }
 
 func orderedNames(scenarios []Scenario) []string {

@@ -30,6 +30,19 @@ type Scenario struct {
 	Name        string
 	Description string
 	Mutate      func(cfg *project.Config)
+
+	// DivergesAt, when positive, is the earliest sim time at which the
+	// mutated configuration's behavior can differ from the base config's:
+	// before it, every lazily-read knob the mutation touches (the phase
+	// schedule sampled at weekly ticks, the grid model, the quorum in
+	// force) evaluates identically. The sweep runner uses it to build a
+	// prefix tree: all DivergesAt > 0 scenarios of one replication share a
+	// single trajectory (and trajectory seed), the common prefix runs
+	// once, and each cell forks from an in-memory snapshot at its
+	// divergence time. Zero — the default — means the scenario diverges
+	// at t = 0 (bind-time mutation) and always runs standalone.
+	// TestDivergesAtHints pins the hints against the mutators.
+	DivergesAt sim.Time
 }
 
 // Catalog returns the built-in scenario catalog: the paper's ablations
@@ -73,11 +86,17 @@ func Catalog() []Scenario {
 				cfg.Server.SteadyQuorum = 2
 				cfg.Server.QuorumSwitchTime = 0
 			},
+			// Quorum 2 is already in force until the default switch at week
+			// 14; removing the switch first matters there.
+			DivergesAt: 14 * sim.Week,
 		},
 		{
 			Name:        "late-quorum-switch",
 			Description: "cautious project: the quorum 2→1 switch waits until week 22",
 			Mutate:      func(cfg *project.Config) { cfg.Server.QuorumSwitchTime = 22 * sim.Week },
+			// Identical to the base until the default switch would have
+			// fired at week 14.
+			DivergesAt: 14 * sim.Week,
 		},
 		{
 			Name:        "deadline-4d",
@@ -106,6 +125,9 @@ func Catalog() []Scenario {
 				cfg.ControlWeeks = 0
 				cfg.RampWeeks = 0.5
 			},
+			// Share(0) is ControlShare under both schedules (the half-week
+			// ramp starts at zero); the first differing weekly tick is w=1.
+			DivergesAt: 1 * sim.Week,
 		},
 		{
 			Name:        "slow-ramp",
@@ -114,6 +136,9 @@ func Catalog() []Scenario {
 				cfg.ControlWeeks = 8
 				cfg.RampWeeks = 10
 			},
+			// The control period is unchanged and Share(8) sits at the ramp
+			// start under both; the ramps first differ at the week-9 tick.
+			DivergesAt: 9 * sim.Week,
 		},
 		{
 			Name:        "grid-static",
@@ -122,6 +147,9 @@ func Catalog() []Scenario {
 				cfg.Grid.BaseVFTP = cfg.Grid.VFTPAt(project.CampaignStartWeek)
 				cfg.Grid.GrowthPerWeek = 0
 			},
+			// The frozen grid equals the growing one at campaign start by
+			// construction; the first differing weekly tick is w=1.
+			DivergesAt: 1 * sim.Week,
 		},
 		{
 			Name:        "grid-boom",

@@ -24,18 +24,31 @@ type Telemetry struct {
 	MeanCellSeconds float64 // mean wall time of finished cells (resumed excluded)
 	TotalAllocMB    float64 // cumulative heap allocation (runtime.MemStats.TotalAlloc)
 	SysMB           float64 // memory obtained from the OS (≈ peak RSS)
+
+	// Prefix-sharing stats, present only when the sweep runs forked
+	// (Forked gates them out of String and Fields so unforked telemetry
+	// lines keep their exact shape). Filled at sweep end via RecordPrefix.
+	Forked        bool
+	PrefixGroups  int
+	PrefixHits    int
+	SavedSimWeeks float64
 }
 
 // String renders the one-line human-readable ticker form.
 func (t Telemetry) String() string {
-	return fmt.Sprintf("progress: %d/%d cells, %.1fs elapsed, %.2f cells/s, eta %.0fs, %.1f MB sys",
+	s := fmt.Sprintf("progress: %d/%d cells, %.1fs elapsed, %.2f cells/s, eta %.0fs, %.1f MB sys",
 		t.Done, t.Total, t.ElapsedSeconds, t.CellsPerSec, t.ETASeconds, t.SysMB)
+	if t.Forked {
+		s += fmt.Sprintf(", prefix: %d groups, %d forks, %.1f sim-weeks saved",
+			t.PrefixGroups, t.PrefixHits, t.SavedSimWeeks)
+	}
+	return s
 }
 
 // Fields renders the snapshot as obs fields for an NDJSON aggregate line
 // (tagged event=sweep-telemetry so jq can separate it from metric samples).
 func (t Telemetry) Fields() []obs.F {
-	return []obs.F{
+	f := []obs.F{
 		obs.Str("event", "sweep-telemetry"),
 		obs.Int("done", int64(t.Done)),
 		obs.Int("total", int64(t.Total)),
@@ -49,17 +62,26 @@ func (t Telemetry) Fields() []obs.F {
 		obs.Num("alloc-mb", t.TotalAllocMB),
 		obs.Num("sys-mb", t.SysMB),
 	}
+	if t.Forked {
+		f = append(f,
+			obs.Int("prefix-groups", int64(t.PrefixGroups)),
+			obs.Int("prefix-hits", int64(t.PrefixHits)),
+			obs.Num("saved-sim-weeks", t.SavedSimWeeks),
+		)
+	}
+	return f
 }
 
 // Tracker accumulates sweep telemetry from concurrent workers. Feed it from
 // a Progress callback (Observe) and poll it from a ticker goroutine
 // (Snapshot); both are safe concurrently.
 type Tracker struct {
-	// Workers and Shards describe the sweep's parallelism plan (worker
-	// goroutines, per-campaign kernel shards); set them before the sweep
-	// starts and they are copied into every Snapshot.
+	// Workers, Shards and Forked describe the sweep's execution plan
+	// (worker goroutines, per-campaign kernel shards, prefix sharing); set
+	// them before the sweep starts and they are copied into every Snapshot.
 	Workers int
 	Shards  int
+	Forked  bool
 
 	mu      sync.Mutex
 	start   time.Time
@@ -67,6 +89,20 @@ type Tracker struct {
 	done    int
 	ran     int // finished cells that actually simulated (not resumed)
 	wallSum float64
+
+	// Prefix-sharing totals, filled at sweep end via RecordPrefix.
+	prefixGroups int
+	prefixHits   int
+	savedWeeks   float64
+}
+
+// RecordPrefix stores a finished forked sweep's prefix-sharing stats so
+// the final Snapshot (summary line, closing telemetry NDJSON record)
+// carries them.
+func (tr *Tracker) RecordPrefix(groups, hits int, savedSimWeeks float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.prefixGroups, tr.prefixHits, tr.savedWeeks = groups, hits, savedSimWeeks
 }
 
 // NewTracker starts tracking a sweep of total cells from now.
@@ -101,6 +137,10 @@ func (tr *Tracker) Snapshot() Telemetry {
 		ElapsedSeconds: time.Since(tr.start).Seconds(),
 		TotalAllocMB:   float64(ms.TotalAlloc) / (1 << 20),
 		SysMB:          float64(ms.Sys) / (1 << 20),
+		Forked:         tr.Forked,
+		PrefixGroups:   tr.prefixGroups,
+		PrefixHits:     tr.prefixHits,
+		SavedSimWeeks:  tr.savedWeeks,
 	}
 	if t.ElapsedSeconds > 0 && tr.done > 0 {
 		t.CellsPerSec = float64(tr.done) / t.ElapsedSeconds

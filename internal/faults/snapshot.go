@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// PlaneSnapshot captures a fault plane at an event boundary. The per-host
+// tables follow the snapshot package's slice rule; the window cursor,
+// churn accumulator, stats and hooks are value copies. The materialized
+// outage schedule (wins) is immutable for the duration of a run and is
+// shared, not copied — a restore never changes which windows exist, only
+// where the cursor sits. Upload-retry events in flight at the capture
+// live in the engine's event arena and are revived by the engine
+// snapshot, with their per-host sequence counters restored here so the
+// re-run draws identical loss/jitter hashes.
+type PlaneSnapshot struct {
+	winIdx         int
+	outageNoted    bool
+	recoverPending bool
+	lastEnd        float64
+
+	attempt snapshot.Slice[int32]
+	epoch   snapshot.Slice[int32]
+	upSeq   snapshot.Slice[uint32]
+
+	churnCarry float64
+	stats      Stats
+
+	onOutage   func(at sim.Time, planned bool)
+	onRecovery func(at sim.Time, lag float64)
+}
+
+// Capture records p's complete mutable state.
+func (s *PlaneSnapshot) Capture(p *Plane) {
+	s.winIdx = p.winIdx
+	s.outageNoted = p.outageNoted
+	s.recoverPending = p.recoverPending
+	s.lastEnd = p.lastEnd
+	s.attempt.Capture(p.attempt)
+	s.epoch.Capture(p.epoch)
+	s.upSeq.Capture(p.upSeq)
+	s.churnCarry = p.churnCarry
+	s.stats = p.Stats
+	s.onOutage = p.OnOutage
+	s.onRecovery = p.OnRecovery
+}
+
+// Restore rewinds p to the captured state. p must be the plane the
+// snapshot was captured from, not Reset since.
+func (s *PlaneSnapshot) Restore(p *Plane) {
+	p.winIdx = s.winIdx
+	p.outageNoted = s.outageNoted
+	p.recoverPending = s.recoverPending
+	p.lastEnd = s.lastEnd
+	p.attempt = s.attempt.Restore()
+	p.epoch = s.epoch.Restore()
+	p.upSeq = s.upSeq.Restore()
+	p.churnCarry = s.churnCarry
+	p.Stats = s.stats
+	p.OnOutage = s.onOutage
+	p.OnRecovery = s.onRecovery
+}

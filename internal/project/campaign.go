@@ -287,6 +287,13 @@ type Campaign struct {
 	// the Report is a field of this struct, so a caller keeping the report
 	// alive would otherwise pin every arena chunk of the finished run.
 	pooled bool
+
+	// Run-phase tickers, installed by start/startSharded and stopped by
+	// finish/finishSharded. Struct fields (not Run locals) so the fork path
+	// can capture their stopped flags alongside a snapshot; each ticker
+	// owns one engine-arena event for its whole life, so the pointers stay
+	// valid across a snapshot restore.
+	weekly, daily, churn, sampler *sim.Ticker
 }
 
 // checkConfig validates cfg and fills in defaulted fields; New and reset
@@ -443,6 +450,10 @@ func (c *Campaign) reset(cfg Config) {
 // concurrent use; pool one per worker.
 type Runner struct {
 	c *Campaign
+
+	// snap holds the Begin/RunTo/Snapshot/Fork path's capture buffers
+	// (fork.go); one snapshot at a time, reused across groups and runs.
+	snap runSnapshot
 }
 
 // NewRunner returns an empty runner; the first Run builds its arenas.
@@ -466,20 +477,31 @@ func (r *Runner) Run(cfg Config) *Report {
 // Run executes the campaign and returns its report.
 func (c *Campaign) Run() *Report {
 	if c.t.cfg.Shards > 0 {
-		return c.runSharded()
+		c.startSharded()
+		c.kern.RunUntil(c.t.cfg.MaxWeeks * sim.Week)
+		return c.finishSharded()
 	}
+	c.start()
+	c.engine.RunUntil(c.t.cfg.MaxWeeks * sim.Week)
+	return c.finish()
+}
+
+// start arms the legacy-kernel run: batches prepared, callbacks bound,
+// probe attached, phase/feeder/churn tickers installed. The weekly loop
+// keeps its state in the tenant (t.done, t.doneWeek, t.snapIdx) rather
+// than in closure cells so a tenant snapshot carries the loop state and a
+// restored fork resumes it; the split into start / engine run / finish is
+// what lets the fork path (fork.go) stop the run at a divergence time.
+func (c *Campaign) start() {
 	cfg := &c.t.cfg
 	c.t.prepare()
 	c.t.bind()
 	probe := cfg.Probe
-	sampler := c.bindProbe(probe)
+	c.sampler = c.bindProbe(probe)
 
-	done := false
-	doneWeek := 0.0
-	snapIdx := 0
-	weekly := c.engine.Every(0, sim.Week, func(now sim.Time) {
+	c.weekly = c.engine.Every(0, sim.Week, func(now sim.Time) {
 		w := now / sim.Week
-		if done {
+		if c.t.done {
 			return
 		}
 		if probe != nil {
@@ -489,18 +511,18 @@ func (c *Campaign) Run() *Report {
 			}
 		}
 		// Figure 7 snapshots (captured at the first tick at/after the mark).
-		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
+		for c.t.snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[c.t.snapIdx] {
 			c.t.captureSnapshot(w)
-			snapIdx++
+			c.t.snapIdx++
 		}
 		if c.t.allDone() {
-			done = true
-			doneWeek = w
+			c.t.done = true
+			c.t.doneWeek = w
 			// Capture any snapshot marks not yet reached: the project is
 			// finished, so they all see the final (complete) state.
-			for snapIdx < len(cfg.SnapshotWeeks) {
-				c.t.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
-				snapIdx++
+			for c.t.snapIdx < len(cfg.SnapshotWeeks) {
+				c.t.captureSnapshot(cfg.SnapshotWeeks[c.t.snapIdx])
+				c.t.snapIdx++
 			}
 			c.pop.SetTarget(0)
 			return
@@ -516,8 +538,8 @@ func (c *Campaign) Run() *Report {
 	})
 	// A daily feeder keeps the queue from draining dry between the weekly
 	// phase adjustments (the server would otherwise starve fast hosts).
-	daily := c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
-		if !done {
+	c.daily = c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+		if !c.t.done {
 			c.t.feed(c.pop.Active())
 		}
 	})
@@ -525,10 +547,10 @@ func (c *Campaign) Run() *Report {
 	// at a fixed cadence so the injection is an ordinary kernel event.
 	// SetTarget stops the oldest hosts and the restore spawns replacements
 	// from the same FIFO seed stream both kernels share.
-	var churn *sim.Ticker
+	c.churn = nil
 	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
-		churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
-			if done {
+		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
+			if c.t.done {
 				return
 			}
 			if n := plane.ChurnCount(c.pop.Active()); n > 0 {
@@ -538,24 +560,28 @@ func (c *Campaign) Run() *Report {
 			}
 		})
 	}
+}
 
-	c.engine.RunUntil(cfg.MaxWeeks * sim.Week)
-	weekly.Stop()
-	daily.Stop()
-	if churn != nil {
-		churn.Stop()
+// finish stops the phase tickers, drains the straggler tail and fills the
+// report — the back half of the legacy-kernel Run.
+func (c *Campaign) finish() *Report {
+	cfg := &c.t.cfg
+	c.weekly.Stop()
+	c.daily.Stop()
+	if c.churn != nil {
+		c.churn.Stop()
 	}
 	// Drain any stragglers (late returns) without advancing phases.
 	c.engine.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
-	if sampler != nil {
-		sampler.Stop()
+	if c.sampler != nil {
+		c.sampler.Stop()
 	}
 
-	c.t.finishReport(c.engine, done, doneWeek)
+	c.t.finishReport(c.engine, c.t.done, c.t.doneWeek)
 	r := &c.t.report
-	if probe != nil {
+	if probe := cfg.Probe; probe != nil {
 		probe.Emit(c.engine.Now(), "run-end",
-			obs.Str("completed", boolStr(done)),
+			obs.Str("completed", boolStr(c.t.done)),
 			obs.Num("weeks", r.WeeksElapsed),
 			obs.Int("events", int64(r.EventsExecuted)),
 			obs.Int("completed-wus", r.ServerStats.Completed))

@@ -10,30 +10,29 @@ import (
 	"repro/internal/volunteer"
 )
 
-// runSharded is the Shards > 0 execution of Campaign.Run: the same weekly
-// phase schedule, daily feeder, drain and accounting, driven through the
+// startSharded is the Shards > 0 mirror of start: the same weekly phase
+// schedule, daily feeder and churn tickers, driven through the
 // deterministic sharded time-window kernel instead of per-Host engine
-// events. The legacy Run body stays untouched so its golden bytes and
-// alloc counts cannot drift; this mirror is held byte-identical to it by
-// the sharded-vs-legacy golden-hash tests.
-func (c *Campaign) runSharded() *Report {
+// events. The legacy bodies stay untouched so their golden bytes and
+// alloc counts cannot drift; this mirror is held byte-identical to them
+// by the sharded-vs-legacy golden-hash tests. Loop state lives in the
+// tenant (t.done, t.doneWeek, t.snapIdx) so the fork path's snapshots
+// carry it.
+func (c *Campaign) startSharded() {
 	cfg := &c.t.cfg
 	c.t.prepare()
 	c.t.bind()
 	probe := cfg.Probe
-	sampler := c.bindProbeSharded(probe)
+	c.sampler = c.bindProbeSharded(probe)
 	kern := c.kern
 
-	done := false
-	doneWeek := 0.0
-	snapIdx := 0
 	// The spawn-count forecast for the slot pool: active hosts only change
 	// at weekly ticks, so at the window barrier before a tick this is the
 	// exact spawn count — except when the project finishes at that very
 	// tick, where it overpredicts harmlessly (slots keep, seeds are
 	// pre-drawn from a stream nothing else reads).
 	kern.SpawnHint = func(w float64) int {
-		if done {
+		if c.t.done {
 			return 0
 		}
 		gridCap := cfg.Grid.VFTPAt(CampaignStartWeek + w)
@@ -43,9 +42,9 @@ func (c *Campaign) runSharded() *Report {
 		}
 		return target - kern.Active()
 	}
-	weekly := c.engine.Every(0, sim.Week, func(now sim.Time) {
+	c.weekly = c.engine.Every(0, sim.Week, func(now sim.Time) {
 		w := now / sim.Week
-		if done {
+		if c.t.done {
 			return
 		}
 		if probe != nil {
@@ -54,16 +53,16 @@ func (c *Campaign) runSharded() *Report {
 				probe.Emit(now, "phase", obs.Str("phase", ph), obs.Num("share", cfg.Share(w)))
 			}
 		}
-		for snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[snapIdx] {
+		for c.t.snapIdx < len(cfg.SnapshotWeeks) && w >= cfg.SnapshotWeeks[c.t.snapIdx] {
 			c.t.captureSnapshot(w)
-			snapIdx++
+			c.t.snapIdx++
 		}
 		if c.t.allDone() {
-			done = true
-			doneWeek = w
-			for snapIdx < len(cfg.SnapshotWeeks) {
-				c.t.captureSnapshot(cfg.SnapshotWeeks[snapIdx])
-				snapIdx++
+			c.t.done = true
+			c.t.doneWeek = w
+			for c.t.snapIdx < len(cfg.SnapshotWeeks) {
+				c.t.captureSnapshot(cfg.SnapshotWeeks[c.t.snapIdx])
+				c.t.snapIdx++
 			}
 			kern.SetTarget(0)
 			return
@@ -77,19 +76,19 @@ func (c *Campaign) runSharded() *Report {
 		c.t.server.EnsureHosts(kern.TotalJoined())
 		c.t.feed(kern.Active())
 	})
-	daily := c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
-		if !done {
+	c.daily = c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+		if !c.t.done {
 			c.t.feed(kern.Active())
 		}
 	})
-	// Churn mirror of Run: same cadence, same SetTarget pair, so the
+	// Churn mirror of start: same cadence, same SetTarget pair, so the
 	// sharded kernel sees departures and replacement joins at exactly the
 	// legacy moments (replacements draw their seeds FIFO from the same
 	// stream, whether they come from the slot pool or inline builds).
-	var churn *sim.Ticker
+	c.churn = nil
 	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
-		churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
-			if done {
+		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
+			if c.t.done {
 				return
 			}
 			if n := plane.ChurnCount(kern.Active()); n > 0 {
@@ -99,26 +98,30 @@ func (c *Campaign) runSharded() *Report {
 			}
 		})
 	}
+}
 
-	kern.RunUntil(cfg.MaxWeeks * sim.Week)
-	weekly.Stop()
-	daily.Stop()
-	if churn != nil {
-		churn.Stop()
+// finishSharded is the Shards > 0 mirror of finish.
+func (c *Campaign) finishSharded() *Report {
+	cfg := &c.t.cfg
+	kern := c.kern
+	c.weekly.Stop()
+	c.daily.Stop()
+	if c.churn != nil {
+		c.churn.Stop()
 	}
 	// Drain stragglers (late returns) without advancing phases — and
 	// without forecasting spawns for ticks that will never fire.
 	kern.SpawnHint = nil
 	kern.RunUntil(cfg.MaxWeeks*sim.Week + 30*sim.Day)
-	if sampler != nil {
-		sampler.Stop()
+	if c.sampler != nil {
+		c.sampler.Stop()
 	}
 
-	c.t.finishReport(c.engine, done, doneWeek)
+	c.t.finishReport(c.engine, c.t.done, c.t.doneWeek)
 	r := &c.t.report
-	if probe != nil {
+	if probe := cfg.Probe; probe != nil {
 		probe.Emit(c.engine.Now(), "run-end",
-			obs.Str("completed", boolStr(done)),
+			obs.Str("completed", boolStr(c.t.done)),
 			obs.Num("weeks", r.WeeksElapsed),
 			obs.Int("events", int64(r.EventsExecuted)),
 			obs.Int("completed-wus", r.ServerStats.Completed))

@@ -63,8 +63,9 @@ type tenant struct {
 	seenBits   []uint64
 	ligScratch []int
 
-	// Grid co-run tracking (unused by the single-project Campaign, which
-	// keeps these in Run-local variables for the pre-grid event order).
+	// Weekly-loop state, shared by the single-project Campaign and the
+	// Grid co-run. Tenant fields (not run-locals) so a snapshot of the
+	// tenant carries the loop state across a fork restore.
 	done     bool
 	doneWeek float64
 	snapIdx  int

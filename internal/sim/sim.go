@@ -474,6 +474,27 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly before deadline and
+// leaves the clock at the last executed event — it does not advance to
+// the deadline and does not run events at it. The snapshot/fork path uses
+// it to stop a shared prefix exactly at a divergence time T: events AT T
+// (the weekly tick that applies a phase change, say) belong to the
+// suffix, where they run under the forked cell's config.
+func (e *Engine) RunBefore(deadline Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.ev.canceled {
+			e.queue.pop()
+			e.discardTombstone(next.ev)
+			continue
+		}
+		if next.at >= deadline {
+			break
+		}
+		e.Step()
+	}
+}
+
 // Ticker invokes fn(now) every interval seconds starting at start, until
 // Stop is called or the engine runs out of events. fn runs before the next
 // tick is scheduled, so it may stop the ticker from within.

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"repro/internal/slab"
+	"repro/internal/snapshot"
+)
+
+// EngineSnapshot captures an Engine at an event boundary so it can be
+// restored byte-exactly after a what-if suffix has run on it. The heap
+// and free list follow the snapshot package's slice rule; the event arena
+// is chunk-copied and rewound (see slab.ArenaSnapshot). Because every
+// Event struct is carved from the arena, the content restore revives all
+// pre-snapshot events — their timestamps, flags and closure pointers —
+// while events the suffix scheduled beyond the mark are zeroed away.
+//
+// The buffers are reused across captures; see the snapshot package doc
+// for the full copy/aliasing contract.
+type EngineSnapshot struct {
+	queue snapshot.Slice[entry]
+	free  snapshot.Slice[*Event]
+	arena slab.ArenaSnapshot[Event]
+
+	now         Time
+	seq, nEvent uint64
+	live        int
+	tombstones  int
+	maxLive     int
+}
+
+// Capture records e's complete mutable state.
+func (s *EngineSnapshot) Capture(e *Engine) {
+	s.queue.Capture(e.queue)
+	s.free.Capture(e.free)
+	s.arena.Capture(&e.slab)
+	s.now = e.now
+	s.seq, s.nEvent = e.seq, e.nEvent
+	s.live, s.tombstones, s.maxLive = e.live, e.tombstones, e.maxLive
+}
+
+// Restore rewinds e to the captured state. e must be the engine the
+// snapshot was captured from, not Reset since.
+func (s *EngineSnapshot) Restore(e *Engine) {
+	e.queue = s.queue.Restore()
+	e.free = s.free.Restore()
+	s.arena.Restore(&e.slab)
+	e.now = s.now
+	e.seq, e.nEvent = s.seq, s.nEvent
+	e.live, e.tombstones, e.maxLive = s.live, s.tombstones, s.maxLive
+}
+
+// TickerState is the mutable part of a Ticker: everything else (engine,
+// interval, callbacks, the event handle) is fixed at creation, and the
+// event struct itself lives in the engine arena, restored by
+// EngineSnapshot. Save the state at snapshot time and put it back before
+// re-running a suffix so a ticker the suffix Stopped ticks again.
+type TickerState struct {
+	stopped bool
+}
+
+// State returns the ticker's mutable state.
+func (t *Ticker) State() TickerState { return TickerState{stopped: t.stopped} }
+
+// RestoreState puts a saved state back.
+func (t *Ticker) RestoreState(s TickerState) { t.stopped = s.stopped }

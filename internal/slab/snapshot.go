@@ -1,0 +1,69 @@
+package slab
+
+import "fmt"
+
+// ArenaSnapshot captures an Arena at its current allocation mark: the
+// cursor plus a chunk-wise copy of every object carved so far. Restore
+// copies the saved contents back into the same chunks (pointer identity
+// of every pre-snapshot object is preserved — chunks are never freed),
+// zeroes whatever the run allocated beyond the mark since the capture
+// (Alloc relies on slots being pre-zeroed), and rewinds the cursor.
+//
+// The private chunk copies are reused across captures, so repeated
+// snapshot/restore cycles allocate only when the arena's high-water mark
+// grows. Restoring requires that the arena has not been Reset since the
+// capture: the cursor must be at or past the saved mark.
+type ArenaSnapshot[T any] struct {
+	ci, off int
+	data    [][]T // data[i] mirrors chunks[i]; data[ci] valid up to off
+}
+
+// Capture records a's cursor and copies its carved contents.
+func (s *ArenaSnapshot[T]) Capture(a *Arena[T]) {
+	s.ci, s.off = a.ci, a.off
+	need := a.ci
+	if a.off > 0 {
+		need++
+	}
+	for len(s.data) < need {
+		s.data = append(s.data, make([]T, Chunk))
+	}
+	for i := 0; i < a.ci; i++ {
+		copy(s.data[i], a.chunks[i])
+	}
+	if a.off > 0 {
+		copy(s.data[a.ci][:a.off], a.chunks[a.ci][:a.off])
+	}
+}
+
+// Restore rewinds a to the captured mark: contents up to the mark are
+// copied back, the dirty region between the mark and the current cursor
+// is zeroed, and the cursor is reset. Panics if the arena was Reset (or
+// otherwise rewound) since the capture.
+func (s *ArenaSnapshot[T]) Restore(a *Arena[T]) {
+	if a.ci < s.ci || (a.ci == s.ci && a.off < s.off) {
+		panic(fmt.Sprintf("slab: restore mark (%d,%d) ahead of arena cursor (%d,%d)",
+			s.ci, s.off, a.ci, a.off))
+	}
+	// Zero what was allocated since the capture so those slots hand out
+	// zeroed objects again.
+	for i := s.ci; i <= a.ci && i < len(a.chunks); i++ {
+		lo, hi := 0, Chunk
+		if i == s.ci {
+			lo = s.off
+		}
+		if i == a.ci {
+			hi = a.off
+		}
+		if lo < hi {
+			clear(a.chunks[i][lo:hi])
+		}
+	}
+	for i := 0; i < s.ci; i++ {
+		copy(a.chunks[i], s.data[i])
+	}
+	if s.off > 0 {
+		copy(a.chunks[s.ci][:s.off], s.data[s.ci][:s.off])
+	}
+	a.ci, a.off = s.ci, s.off
+}

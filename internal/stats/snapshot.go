@@ -1,0 +1,42 @@
+package stats
+
+import "repro/internal/snapshot"
+
+// HistogramSnapshot captures a Histogram's counters so a run context can
+// be rewound to an event boundary (see the snapshot package doc). The bin
+// slice follows the snapshot slice rule; Lo/Hi are fixed at construction
+// and not captured.
+type HistogramSnapshot struct {
+	bins               snapshot.Slice[int]
+	under, over, total int
+}
+
+// Capture records h's counters.
+func (s *HistogramSnapshot) Capture(h *Histogram) {
+	s.bins.Capture(h.Bins)
+	s.under, s.over, s.total = h.Under, h.Over, h.total
+}
+
+// Restore puts the captured counters back into h.
+func (s *HistogramSnapshot) Restore(h *Histogram) {
+	h.Bins = s.bins.Restore()
+	h.Under, h.Over, h.total = s.under, s.over, s.total
+}
+
+// SeriesSnapshot captures a Series' points (both coordinate slices under
+// the slice rule; the name is fixed).
+type SeriesSnapshot struct {
+	x, y snapshot.Slice[float64]
+}
+
+// Capture records s's points.
+func (c *SeriesSnapshot) Capture(s *Series) {
+	c.x.Capture(s.X)
+	c.y.Capture(s.Y)
+}
+
+// Restore puts the captured points back into s.
+func (c *SeriesSnapshot) Restore(s *Series) {
+	s.X = c.x.Restore()
+	s.Y = c.y.Restore()
+}

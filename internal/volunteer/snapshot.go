@@ -1,0 +1,278 @@
+package volunteer
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/wcg"
+)
+
+// hostSnap captures one Host: the whole struct by value (rng stream, mux
+// port, in-flight task, bound method values — which close over the
+// receiver pointer and so stay valid) plus the work-cache contents.
+type hostSnap struct {
+	h     *Host
+	state Host
+	cache snapshot.Slice[*wcg.Assignment]
+}
+
+// PopulationSnapshot captures a Population (the legacy per-Host kernel)
+// at an event boundary; see the snapshot package doc for the model. Every
+// host ever joined in the run is copied struct-wise; pooled (not yet
+// respawned) hosts are captured as pointers only, because spawn fully
+// re-initializes a recycled struct. On a multiplexed population the
+// shared per-host debt slab is captured too (each port's debt vector is a
+// window into it).
+type PopulationSnapshot struct {
+	hosts     snapshot.Slice[*Host]
+	hostSnaps []hostSnap
+
+	active, nextID, firstActive int
+
+	pool     snapshot.Slice[*Host]
+	poolNext int
+
+	rsrc     rng.Source
+	muxDebts snapshot.Slice[float64]
+}
+
+// Capture records p's complete mutable state.
+func (snap *PopulationSnapshot) Capture(p *Population) {
+	snap.hosts.Capture(p.hosts)
+	for len(snap.hostSnaps) < len(p.hosts) {
+		snap.hostSnaps = append(snap.hostSnaps, hostSnap{})
+	}
+	for i, h := range p.hosts {
+		hs := &snap.hostSnaps[i]
+		hs.h = h
+		hs.state = *h
+		hs.cache.Capture(h.cache)
+	}
+	snap.active, snap.nextID, snap.firstActive = p.active, p.nextID, p.firstActive
+	snap.pool.Capture(p.pool)
+	snap.poolNext = p.poolNext
+	snap.rsrc = *p.r
+	if p.mux != nil {
+		snap.muxDebts.Capture(p.mux.debts)
+	}
+}
+
+// Restore rewinds p to the captured state. p must be the population the
+// snapshot was captured from, not Reset since.
+func (snap *PopulationSnapshot) Restore(p *Population) {
+	n := snap.hosts.Len()
+	for i := 0; i < n; i++ {
+		hs := &snap.hostSnaps[i]
+		*hs.h = hs.state
+		hs.h.cache = hs.cache.Restore()
+	}
+	p.hosts = snap.hosts.Restore()
+	p.active, p.nextID, p.firstActive = snap.active, snap.nextID, snap.firstActive
+	p.pool = snap.pool.Restore()
+	p.poolNext = snap.poolNext
+	*p.r = snap.rsrc
+	if p.mux != nil {
+		p.mux.debts = snap.muxDebts.Restore()
+	}
+}
+
+// kernelShardSnap captures one shard's calendar: the window-bucket table
+// (outer header + every window's contents), the free-bucket list, the
+// refill queue and the current-window merge buffer. curBuf aliases the
+// current window's bucket by construction; both captures were taken at
+// the same instant, so the restore's double-write is consistent.
+type kernelShardSnap struct {
+	buckets    snapshot.Slice[[]planeEvent]
+	bucketData []snapshot.Slice[planeEvent]
+	freeB      snapshot.Slice[[]planeEvent]
+	refill     snapshot.Slice[int32]
+	curBuf     snapshot.Slice[planeEvent]
+}
+
+// KernelSnapshot captures a ShardKernel (the SoA mega-grid kernel) at an
+// event boundary: every SoA column, the spawn-slot pool, the per-shard
+// calendars, the overlay heap, the window cursor and the population
+// stream. The SpawnHint callback is captured as a func value because the
+// campaign's drain phase nils it. See the snapshot package doc.
+type KernelSnapshot struct {
+	flags       snapshot.Slice[uint8]
+	speedDown   snapshot.Slice[float64]
+	src         snapshot.Slice[rng.Source]
+	dec         snapshot.Slice[decision]
+	errorProb   snapshot.Slice[float64]
+	abandonProb snapshot.Slice[float64]
+	phase       snapshot.Slice[float64]
+	onlineSpan  snapshot.Slice[float64]
+	joinedAt    snapshot.Slice[sim.Time]
+	hardware    snapshot.Slice[float64]
+	done        snapshot.Slice[int32]
+	cpuSpent    snapshot.Slice[float64]
+	cur         snapshot.Slice[*wcg.Assignment]
+	curOutcome  snapshot.Slice[wcg.Outcome]
+	curReported snapshot.Slice[float64]
+	cacheLen    snapshot.Slice[int32]
+	cache       snapshot.Slice[*wcg.Assignment]
+
+	active, firstActive int
+
+	pool     snapshot.Slice[spawnSlot]
+	poolHead int
+	rsrc     rng.Source
+
+	spawnHint func(week float64) int
+
+	shards  []kernelShardSnap
+	cursor  snapshot.Slice[int]
+	win     int
+	winEnd  sim.Time
+	armed   bool
+	prevWin int
+	overlay snapshot.Slice[planeEvent]
+
+	livePlane, peekSrc int
+}
+
+// Capture records k's complete mutable state.
+func (snap *KernelSnapshot) Capture(k *ShardKernel) {
+	snap.flags.Capture(k.flags)
+	snap.speedDown.Capture(k.speedDown)
+	snap.src.Capture(k.src)
+	snap.dec.Capture(k.dec)
+	snap.errorProb.Capture(k.errorProb)
+	snap.abandonProb.Capture(k.abandonProb)
+	snap.phase.Capture(k.phase)
+	snap.onlineSpan.Capture(k.onlineSpan)
+	snap.joinedAt.Capture(k.joinedAt)
+	snap.hardware.Capture(k.hardware)
+	snap.done.Capture(k.done)
+	snap.cpuSpent.Capture(k.cpuSpent)
+	snap.cur.Capture(k.cur)
+	snap.curOutcome.Capture(k.curOutcome)
+	snap.curReported.Capture(k.curReported)
+	snap.cacheLen.Capture(k.cacheLen)
+	snap.cache.Capture(k.cache)
+
+	snap.active, snap.firstActive = k.active, k.firstActive
+
+	snap.pool.Capture(k.pool)
+	snap.poolHead = k.poolHead
+	snap.rsrc = *k.r
+	snap.spawnHint = k.SpawnHint
+
+	for len(snap.shards) < k.shards {
+		snap.shards = append(snap.shards, kernelShardSnap{})
+	}
+	snap.shards = snap.shards[:k.shards]
+	for sh := 0; sh < k.shards; sh++ {
+		ss := &snap.shards[sh]
+		ss.buckets.Capture(k.buckets[sh])
+		for len(ss.bucketData) < len(k.buckets[sh]) {
+			ss.bucketData = append(ss.bucketData, snapshot.Slice[planeEvent]{})
+		}
+		for w := range k.buckets[sh] {
+			ss.bucketData[w].Capture(k.buckets[sh][w])
+		}
+		ss.freeB.Capture(k.freeB[sh])
+		ss.refill.Capture(k.refill[sh])
+		ss.curBuf.Capture(k.curBuf[sh])
+	}
+	snap.cursor.Capture(k.cursor)
+	snap.win, snap.winEnd = k.win, k.winEnd
+	snap.armed, snap.prevWin = k.armed, k.prevWin
+	snap.overlay.Capture(k.overlay)
+	snap.livePlane, snap.peekSrc = k.livePlane, k.peekSrc
+}
+
+// Restore rewinds k to the captured state. k must be the kernel the
+// snapshot was captured from, not Reset since (same shard count).
+func (snap *KernelSnapshot) Restore(k *ShardKernel) {
+	k.flags = snap.flags.Restore()
+	k.speedDown = snap.speedDown.Restore()
+	k.src = snap.src.Restore()
+	k.dec = snap.dec.Restore()
+	k.errorProb = snap.errorProb.Restore()
+	k.abandonProb = snap.abandonProb.Restore()
+	k.phase = snap.phase.Restore()
+	k.onlineSpan = snap.onlineSpan.Restore()
+	k.joinedAt = snap.joinedAt.Restore()
+	k.hardware = snap.hardware.Restore()
+	k.done = snap.done.Restore()
+	k.cpuSpent = snap.cpuSpent.Restore()
+	k.cur = snap.cur.Restore()
+	k.curOutcome = snap.curOutcome.Restore()
+	k.curReported = snap.curReported.Restore()
+	k.cacheLen = snap.cacheLen.Restore()
+	k.cache = snap.cache.Restore()
+
+	k.active, k.firstActive = snap.active, snap.firstActive
+
+	k.pool = snap.pool.Restore()
+	k.poolHead = snap.poolHead
+	*k.r = snap.rsrc
+	k.SpawnHint = snap.spawnHint
+
+	for sh := range snap.shards {
+		ss := &snap.shards[sh]
+		for w := 0; w < ss.buckets.Len(); w++ {
+			ss.bucketData[w].Restore()
+		}
+		k.buckets[sh] = ss.buckets.Restore()
+		k.freeB[sh] = ss.freeB.Restore()
+		k.refill[sh] = ss.refill.Restore()
+		k.curBuf[sh] = ss.curBuf.Restore()
+	}
+	k.cursor = snap.cursor.Restore()
+	k.win, k.winEnd = snap.win, snap.winEnd
+	k.armed, k.prevWin = snap.armed, snap.prevWin
+	k.overlay = snap.overlay.Restore()
+	k.livePlane, k.peekSrc = snap.livePlane, snap.peekSrc
+}
+
+// RunBefore merges and executes events with timestamps strictly before
+// deadline, exactly as RunUntil would order them, and stops without
+// advancing the clock to the deadline or prepping the window that
+// contains it. The snapshot/fork path uses it to end a shared prefix at
+// a divergence time T: the window barrier covering T (bucket sorting,
+// decision refills, spawn-pool top-up) runs in each forked suffix, under
+// the forked cell's config, exactly as a straight run of that cell would
+// have run it.
+func (k *ShardKernel) RunBefore(deadline sim.Time) {
+	e := k.eng
+	if !k.armed {
+		k.prepWindow(k.win)
+		k.armed = true
+	}
+	for {
+		pt, pseq, pok := k.peekPlane()
+		et, eseq, eok := e.Peek()
+		if pok && (!eok || pt < et || (pt == et && pseq < eseq)) {
+			if pt >= deadline {
+				break
+			}
+			ev := k.popPlane()
+			k.exec(ev)
+			continue
+		}
+		if eok && et < k.winEnd {
+			if et >= deadline {
+				break
+			}
+			e.Step()
+			continue
+		}
+		// Current window exhausted on both calendars; advance the barrier
+		// only while the next window can still hold events before the
+		// deadline (its start is the current winEnd).
+		if k.livePlane == 0 {
+			if !eok || et >= deadline {
+				break
+			}
+			k.prepWindow(int(et / k.window))
+			continue
+		}
+		if k.winEnd >= deadline {
+			break
+		}
+		k.prepWindow(k.win + 1)
+	}
+}

@@ -1,0 +1,189 @@
+package wcg
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/slab"
+	"repro/internal/snapshot"
+)
+
+// wheelSnap captures one deadline class's mutable ring state; the class's
+// deadline and drain closure are fixed at bind time.
+type wheelSnap struct {
+	dlq    snapshot.Slice[*Assignment]
+	dlHead int
+	armed  bool
+}
+
+// ServerSnapshot captures a Server at an event boundary so a what-if
+// suffix can run on it and the server can then be restored byte-exactly
+// (see the snapshot package doc for the model and the slice rule).
+//
+// What is copied: the config (by value), work queue, batch buckets,
+// deadline rings, trust streaks, outage spool, scheduler rng, counters,
+// stats and completion hooks — plus the WUState and Assignment arenas,
+// chunk-wise, which preserves the identity of every *WUState/*Assignment
+// pointer held by queues, wheels, hosts or in-flight events. What is
+// shared, not copied: the outage-window schedule (immutable during a
+// run; only its header and cursor are saved) and everything resolved at
+// policy-bind time (scheduler/validator/deadline method values, class
+// tables, wheel count, drain closures) — a fork must not change those,
+// which Server.ApplyConfig documents and the experiment layer enforces.
+//
+// Snapshot requires the retained-arena mode (Retain/Reset): the one-shot
+// slab.Carve mode hands chunks to the GC as it goes and cannot be
+// rewound. Capture panics otherwise.
+type ServerSnapshot struct {
+	cfg  Config
+	proj uint8
+
+	queue snapshot.Slice[*WUState]
+	qHead int
+
+	schedRand rng.Source
+
+	buckets    snapshot.Slice[[]*WUState]
+	bucketData []snapshot.Slice[*WUState]
+	bucketHead snapshot.Slice[int]
+	minBucket  int
+	batchRank  snapshot.Slice[int]
+	nextRank   int
+
+	nQueuedLive, nNeedy, qCache int
+
+	wheels []wheelSnap
+
+	adStreak snapshot.Slice[int]
+
+	outages []OutageWindow
+	outIdx  int
+
+	spool      snapshot.Slice[spooled]
+	spoolArmed bool
+
+	wuArena slab.ArenaSnapshot[WUState]
+	asArena slab.ArenaSnapshot[Assignment]
+
+	stats Stats
+
+	onComplete     func(*WUState)
+	onWeekCPU      func(week int, cpuSeconds float64)
+	onQuorumSwitch func(at sim.Time, from, to int)
+}
+
+// Capture records s's complete mutable state. s must be in retained
+// (pooled) allocation mode.
+func (snap *ServerSnapshot) Capture(s *Server) {
+	if !s.retain {
+		panic("wcg: ServerSnapshot requires a retained (pooled) server — call Retain before the run")
+	}
+	snap.cfg = s.cfg
+	snap.proj = s.proj
+
+	snap.queue.Capture(s.queue)
+	snap.qHead = s.qHead
+	snap.schedRand = s.schedRand
+
+	snap.buckets.Capture(s.buckets)
+	for len(snap.bucketData) < len(s.buckets) {
+		snap.bucketData = append(snap.bucketData, snapshot.Slice[*WUState]{})
+	}
+	for i := range s.buckets {
+		snap.bucketData[i].Capture(s.buckets[i])
+	}
+	snap.bucketHead.Capture(s.bucketHead)
+	snap.minBucket = s.minBucket
+	snap.batchRank.Capture(s.batchRank)
+	snap.nextRank = s.nextRank
+
+	snap.nQueuedLive, snap.nNeedy, snap.qCache = s.nQueuedLive, s.nNeedy, s.qCache
+
+	for len(snap.wheels) < len(s.wheels) {
+		snap.wheels = append(snap.wheels, wheelSnap{})
+	}
+	snap.wheels = snap.wheels[:len(s.wheels)]
+	for i := range s.wheels {
+		w := &s.wheels[i]
+		ws := &snap.wheels[i]
+		ws.dlq.Capture(w.dlq)
+		ws.dlHead = w.dlHead
+		ws.armed = w.armed
+	}
+
+	snap.adStreak.Capture(s.adStreak)
+
+	snap.outages = s.outages
+	snap.outIdx = s.outIdx
+	snap.spool.Capture(s.spool)
+	snap.spoolArmed = s.spoolArmed
+
+	snap.wuArena.Capture(&s.wuArena)
+	snap.asArena.Capture(&s.asArena)
+
+	snap.stats = s.Stats
+	snap.onComplete = s.OnComplete
+	snap.onWeekCPU = s.OnWeekCPU
+	snap.onQuorumSwitch = s.OnQuorumSwitch
+}
+
+// Restore rewinds s to the captured state. s must be the server the
+// snapshot was captured from, not Reset since.
+func (snap *ServerSnapshot) Restore(s *Server) {
+	s.cfg = snap.cfg
+	s.proj = snap.proj
+
+	s.queue = snap.queue.Restore()
+	s.qHead = snap.qHead
+	s.schedRand = snap.schedRand
+
+	for i := 0; i < snap.buckets.Len(); i++ {
+		snap.bucketData[i].Restore()
+	}
+	s.buckets = snap.buckets.Restore()
+	s.bucketHead = snap.bucketHead.Restore()
+	s.minBucket = snap.minBucket
+	s.batchRank = snap.batchRank.Restore()
+	s.nextRank = snap.nextRank
+
+	s.nQueuedLive, s.nNeedy, s.qCache = snap.nQueuedLive, snap.nNeedy, snap.qCache
+
+	for i := range snap.wheels {
+		w := &s.wheels[i]
+		ws := &snap.wheels[i]
+		w.dlq = ws.dlq.Restore()
+		w.dlHead = ws.dlHead
+		w.armed = ws.armed
+	}
+
+	s.adStreak = snap.adStreak.Restore()
+
+	s.outages = snap.outages
+	s.outIdx = snap.outIdx
+	s.spool = snap.spool.Restore()
+	s.spoolArmed = snap.spoolArmed
+
+	snap.wuArena.Restore(&s.wuArena)
+	snap.asArena.Restore(&s.asArena)
+
+	s.Stats = snap.stats
+	s.OnComplete = snap.onComplete
+	s.OnWeekCPU = snap.onWeekCPU
+	s.OnQuorumSwitch = snap.onQuorumSwitch
+}
+
+// ApplyConfig swaps the configuration in force mid-run, at a fork point:
+// after a snapshot restore, the forked cell's config replaces the shared
+// prefix's before the suffix runs. Only fields whose effect is lazily
+// read may differ from the config the prefix ran under — the quorum
+// fields (refreshQuorum picks the change up at the next public entry,
+// firing OnQuorumSwitch exactly as a straight run would) — and the
+// outage schedule header is refreshed from the new config, which must
+// describe the same windows. Everything resolved at bind time must be
+// identical: Scheduler, Validator, DeadlinePolicy and Deadline are NOT
+// re-bound here. The experiment layer's prefix grouping enforces these
+// constraints on grouped scenarios.
+func (s *Server) ApplyConfig(cfg Config) {
+	checkConfig(cfg)
+	s.cfg = cfg
+	s.outages = cfg.Outages
+}
