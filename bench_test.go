@@ -393,6 +393,87 @@ func BenchmarkSweepForked(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepForkedParallel measures the fork fan-out payoff on the
+// same week-14 what-if group: the shared prefix runs once, is captured as
+// a portable snapshot, and the eight divergent suffixes adopt it on eight
+// pooled runners and race instead of forking sequentially on the
+// publisher. speedup-x is the sequential forked sweep's wall time (one
+// worker, the BenchmarkSweepForked configuration) over the parallel per-op
+// time, so it isolates what the fan-out recovers from idle cores beyond
+// what prefix sharing already saved; the benchmark fails if the two modes
+// disagree on a single result byte or a chunk silently fell back.
+func BenchmarkSweepForkedParallel(b *testing.B) {
+	cfg := system().CampaignConfig(1.0/84, 0)
+	cfg.ControlWeeks, cfg.RampWeeks = 0, 0
+	cfg.HostScale = 2.5 / 84
+	opts := experiment.Options{
+		Base:      cfg,
+		Scenarios: forkWhatIfGroup(),
+		Reps:      1,
+		Workers:   1,
+		Fork:      true,
+	}
+
+	t0 := time.Now()
+	sequential, err := experiment.Run(context.Background(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sequentialSecs := time.Since(t0).Seconds()
+
+	opts.Workers, opts.ForkWorkers = 8, 8
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	start := time.Now()
+	var sweep *experiment.Sweep
+	for i := 0; i < b.N; i++ {
+		sweep, err = experiment.Run(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+
+	if !reflect.DeepEqual(sequential.Results, sweep.Results) {
+		b.Fatal("parallel-forked sweep results differ from sequential-forked")
+	}
+	if sweep.PrefixHits != len(opts.Scenarios) {
+		b.Fatalf("prefix hits = %d, want %d (a fork fell back to a standalone run)",
+			sweep.PrefixHits, len(opts.Scenarios))
+	}
+	if sweep.AdoptedRunners == 0 || sweep.ForksParallel == 0 {
+		b.Fatalf("no fan-out happened (adopted=%d, parallel forks=%d) — Materialize fell back",
+			sweep.AdoptedRunners, sweep.ForksParallel)
+	}
+	parallelSecs := elapsed.Seconds() / float64(b.N)
+	b.ReportMetric(sequentialSecs/parallelSecs, "speedup-x")
+	b.ReportMetric(float64(sweep.ForksParallel), "parallel-forks")
+	b.ReportMetric(float64(sweep.SnapshotBytes), "snapshot-bytes")
+	b.ReportMetric(sweep.ParallelSpeedup, "tree-speedup-x")
+
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		run := experiment.BenchRun{
+			Benchmark:   "BenchmarkSweepForkedParallel",
+			Label:       benchLabel(),
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			Scale:       cfg.WorkScale,
+			HostScale:   cfg.HostScale,
+			NsPerOp:     elapsed.Nanoseconds() / int64(b.N),
+			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+			SimWeeks:    sweep.SavedSimWeeks,
+		}
+		if err := experiment.AppendBenchRun(path, run); err != nil {
+			b.Fatalf("recording bench run: %v", err)
+		}
+		b.Logf("recorded BenchmarkSweepForkedParallel (%s) in %s", run.Label, path)
+	}
+}
+
 // benchLabel tags recorded runs; CI sets BENCH_LABEL to the PR/commit.
 func benchLabel() string {
 	if l := os.Getenv("BENCH_LABEL"); l != "" {

@@ -5,18 +5,20 @@
 // deterministic for a deterministic simulation, so the gate is
 // machine-independent — unlike ns/op, which is deliberately not gated.
 //
-// Four benchmarks are gated by default: BenchmarkCampaignCI (the fresh
+// Five benchmarks are gated by default: BenchmarkCampaignCI (the fresh
 // one-shot campaign), BenchmarkSweepCell (the pooled steady-state
 // replication, which is where arena-reuse regressions hide),
 // BenchmarkCampaignGrid10x (the grid-growth scale milestone, where
 // per-host overheads that vanish at CI scale show up multiplied by the
-// fleet), and BenchmarkSweepForked (the prefix-shared sweep, where
-// snapshot/restore copy regressions hide).
+// fleet), BenchmarkSweepForked (the prefix-shared sweep, where
+// snapshot/restore copy regressions hide), and
+// BenchmarkSweepForkedParallel (the fan-out sweep, where portable-snapshot
+// capture/adoption copy regressions hide).
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_campaign.json -current BENCH_ci.json \
-//	          [-bench BenchmarkCampaignCI,BenchmarkSweepCell,BenchmarkCampaignGrid10x,BenchmarkSweepForked] \
+//	          [-bench BenchmarkCampaignCI,BenchmarkSweepCell,BenchmarkCampaignGrid10x,BenchmarkSweepForked,BenchmarkSweepForkedParallel] \
 //	          [-max-alloc-growth 0.10] \
 //	          [-overhead Instrumented:Bare] [-max-overhead 0.05]
 //
@@ -38,7 +40,7 @@ import (
 func main() {
 	baseline := flag.String("baseline", "BENCH_campaign.json", "checked-in benchmark trajectory (the baseline)")
 	current := flag.String("current", "", "freshly measured benchmark file to gate")
-	bench := flag.String("bench", "BenchmarkCampaignCI,BenchmarkSweepCell,BenchmarkCampaignGrid10x,BenchmarkSweepForked", "comma-separated benchmark names to compare")
+	bench := flag.String("bench", "BenchmarkCampaignCI,BenchmarkSweepCell,BenchmarkCampaignGrid10x,BenchmarkSweepForked,BenchmarkSweepForkedParallel", "comma-separated benchmark names to compare")
 	maxGrowth := flag.Float64("max-alloc-growth", 0.10, "allowed allocs/op growth over the baseline (0.10 = +10%)")
 	overhead := flag.String("overhead", "", "Instrumented:Bare pair in the current file to wall-time-gate against each other")
 	maxOverhead := flag.Float64("max-overhead", 0.05, "allowed instrumented ns/op overhead over the bare run (0.05 = +5%)")

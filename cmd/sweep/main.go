@@ -7,6 +7,7 @@
 //
 //	sweep -list
 //	sweep [-scenarios all|a,b,c] [-reps R] [-workers W] [-shards K] [-fork]
+//	      [-fork-workers N]
 //	      [-scale S] [-hours H] [-seed N] [-checkpoint FILE] [-resume] [-out DIR]
 //	      [-scheduler fifo|lifo|random|batch] [-validator quorum|adaptive]
 //	      [-adaptive-streak N] [-maintenance-hours H] [-outage-rate R]
@@ -40,6 +41,15 @@
 // -resume and -shards; only wall clock and the summary's prefix stats
 // change. Forked cells run unprobed (-metrics/-trace samples are skipped
 // for them). Ignored with -corun.
+//
+// -fork-workers N widens each divergence group's fork fan-out: the shared
+// prefix is captured once as a portable snapshot, N-1 chunks of the
+// group's what-if cells are handed to idle pool workers that adopt the
+// snapshot into their own pooled runners, and the suffixes race on all
+// cores instead of running sequentially on the publisher's. The default
+// (0) follows -workers; 1 restores sequential forks. Results stay
+// byte-identical at any width — only wall clock and the summary's fan-out
+// line change.
 //
 // -shards K runs every cell on the sharded campaign kernel with K worker
 // shards instead of the legacy single-heap kernel. Results are
@@ -133,6 +143,7 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "per-campaign sharded-kernel shards (0 = legacy kernel; results are byte-identical either way; ignored with -corun)")
 	fork := flag.Bool("fork", false, "share scenario prefixes: run each replication's common trajectory once and fork what-if cells from in-memory snapshots (results are byte-identical either way; ignored with -corun)")
+	forkWorkers := flag.Int("fork-workers", 0, "parallel fork fan-out width per prefix group with -fork: divergent suffixes adopt portable snapshots on this many pooled runners (0 = -workers; 1 = sequential forks)")
 	scale := flag.Float64("scale", 1.0/84, "work and host scale (0 < s <= 1)")
 	hours := flag.Float64("hours", 0, "workunit target duration in hours (0 = deployed 3.7)")
 	seed := flag.Uint64("seed", 0, "sweep base seed (0 = campaign default)")
@@ -234,9 +245,16 @@ func run() (err error) {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	total := len(selected) * *reps
+	nForkWorkers := *forkWorkers
+	if *fork && nForkWorkers <= 0 {
+		nForkWorkers = nWorkers
+	}
 	forkNote := ""
 	if *fork {
 		forkNote = ", prefix-forked"
+		if nForkWorkers > 1 {
+			forkNote = fmt.Sprintf(", prefix-forked ×%d", nForkWorkers)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %d reps = %d runs on %d workers (scale %.4g, shards %d%s)\n",
 		len(selected), *reps, total, nWorkers, *scale, *shards, forkNote)
@@ -256,6 +274,9 @@ func run() (err error) {
 	start := time.Now()
 	tracker := experiment.NewTracker(total)
 	tracker.Workers, tracker.Shards, tracker.Forked = nWorkers, *shards, *fork
+	if *fork {
+		tracker.ForkWorkers = nForkWorkers
+	}
 	stopTicker := startTicker(tracker, *progressEvery, msink)
 	defer stopTicker()
 	opts := experiment.Options{
@@ -265,6 +286,7 @@ func run() (err error) {
 		Workers:     *workers,
 		Shards:      *shards,
 		Fork:        *fork,
+		ForkWorkers: nForkWorkers,
 		BaseSeed:    *seed,
 		Checkpoint:  ckpt,
 		MetricsSink: msink,
@@ -303,6 +325,8 @@ func run() (err error) {
 	fmt.Fprintf(os.Stderr, "done: %d runs (%d resumed) in %.1fs\n",
 		len(sweep.Results), sweep.Resumed, time.Since(start).Seconds())
 	tracker.RecordPrefix(sweep.PrefixGroups, sweep.PrefixHits, sweep.SavedSimWeeks)
+	tracker.RecordFanout(sweep.SnapshotBytes, sweep.SnapshotCaptureNS, sweep.SnapshotAdoptNS,
+		sweep.AdoptedRunners, sweep.ForksParallel, sweep.ParallelSpeedup)
 	printSummary(tracker)
 	if msink != nil {
 		// Close the metrics NDJSON with one final sweep-telemetry record so
@@ -487,6 +511,10 @@ func printSummary(tr *experiment.Tracker) {
 	if t.Forked {
 		fmt.Fprintf(os.Stderr, "prefix sharing: %d groups snapshotted, %d cells forked, %.1f sim-weeks saved\n",
 			t.PrefixGroups, t.PrefixHits, t.SavedSimWeeks)
+	}
+	if t.ForkWorkers > 1 {
+		fmt.Fprintf(os.Stderr, "fan-out: %d fork workers, %d runners adopted snapshots, %d cells forked in parallel, %.1f KB snapshots, %.2fx tree speedup\n",
+			t.ForkWorkers, t.AdoptedRunners, t.ForksParallel, float64(t.SnapshotBytes)/1024, t.ParallelSpeedup)
 	}
 }
 

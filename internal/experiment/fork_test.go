@@ -94,6 +94,80 @@ func TestForkedSweepIdentical(t *testing.T) {
 	}
 }
 
+// TestParallelForkedSweepIdentical is the fan-out pin: with ForkWorkers
+// wide enough to split every divergence group, suffixes adopt portable
+// snapshots on other pooled runners and race — and the results, the
+// aggregates, the prefix stats and the JSON rendering stay byte-identical
+// to the sequential single-worker unforked sweep. The fan-out stats prove
+// adoption really happened (a silent Materialize fallback would keep
+// results correct but show zero adopted runners here).
+func TestParallelForkedSweepIdentical(t *testing.T) {
+	scenarios := forkScenarios(t)
+	const reps = 2
+	run := func(fork bool, workers, forkWorkers, shards int) *Sweep {
+		sw, err := Run(context.Background(), Options{
+			Base:        testBase(t),
+			Scenarios:   scenarios,
+			Reps:        reps,
+			Workers:     workers,
+			ForkWorkers: forkWorkers,
+			Shards:      shards,
+			Fork:        fork,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+
+	ref := run(false, 1, 0, 0)
+	const wantHits, wantGroups, wantSaved = 5 * reps, 3 * reps, 25.0 * reps
+	for _, tc := range []struct{ workers, forkWorkers, shards int }{{8, 8, 0}, {8, 8, 4}, {1, 8, 0}} {
+		sw := run(true, tc.workers, tc.forkWorkers, tc.shards)
+		if !reflect.DeepEqual(ref.Results, sw.Results) {
+			t.Fatalf("workers=%d fork-workers=%d shards=%d: parallel-forked results differ from unforked",
+				tc.workers, tc.forkWorkers, tc.shards)
+		}
+		if !reflect.DeepEqual(ref.Aggregates, sw.Aggregates) {
+			t.Fatalf("workers=%d fork-workers=%d shards=%d: parallel-forked aggregates differ from unforked",
+				tc.workers, tc.forkWorkers, tc.shards)
+		}
+		if sw.PrefixHits != wantHits || sw.PrefixGroups != wantGroups || sw.SavedSimWeeks != wantSaved {
+			t.Errorf("workers=%d fork-workers=%d shards=%d: prefix stats = %d hits / %d groups / %v weeks, want %d / %d / %v",
+				tc.workers, tc.forkWorkers, tc.shards,
+				sw.PrefixHits, sw.PrefixGroups, sw.SavedSimWeeks, wantHits, wantGroups, wantSaved)
+		}
+		if tc.workers > 1 {
+			// Real fan-out: at least one chunk adopted on another runner.
+			if sw.AdoptedRunners == 0 || sw.ForksParallel == 0 || sw.SnapshotBytes == 0 {
+				t.Errorf("workers=%d fork-workers=%d shards=%d: no fan-out happened (adopted=%d, parallel forks=%d, bytes=%d)",
+					tc.workers, tc.forkWorkers, tc.shards, sw.AdoptedRunners, sw.ForksParallel, sw.SnapshotBytes)
+			}
+		} else {
+			// ForkWorkers is capped at Workers: one worker means sequential
+			// forks and no snapshots captured.
+			if sw.AdoptedRunners != 0 || sw.SnapshotBytes != 0 {
+				t.Errorf("workers=1: fan-out ran on a single worker (adopted=%d, bytes=%d)",
+					sw.AdoptedRunners, sw.SnapshotBytes)
+			}
+		}
+	}
+
+	// The fan-out stats must not leak into the JSON rendering: parallel-forked
+	// and unforked sweep files are diffed byte for byte by the CI smoke.
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(run(true, 8, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(refJSON) != string(parJSON) {
+		t.Fatal("parallel-forked sweep JSON differs from unforked")
+	}
+}
+
 // TestDivergesAtHints validates every catalog DivergesAt hint directly
 // against the project fork path: running the base prefix to the hinted
 // time, snapshotting, and forking the mutated cell must reproduce the

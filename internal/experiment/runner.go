@@ -141,6 +141,18 @@ type Options struct {
 	// them in fork mode.
 	Fork bool
 
+	// ForkWorkers bounds the per-group parallel fan-out in fork mode: when
+	// a prefix group has more than one pending cell, the tree worker
+	// materializes a portable snapshot of the shared prefix
+	// (project.Runner.Materialize) and up to ForkWorkers-1 pool workers
+	// adopt it into their own run contexts and race the group's suffixes
+	// alongside the tree worker's own in-place forks. 0 or 1 keeps grouped
+	// suffixes sequential on the tree worker. Results and aggregates are
+	// byte-identical at every value — adoption is pinned to the in-place
+	// fork path — so this is purely a wall-clock choice; values above
+	// Workers are capped to it.
+	ForkWorkers int
+
 	// MetricsSink / TraceSink, when non-nil, attach a pooled obs probe to
 	// every cell: each worker owns a registry and trace (re-tagged with
 	// scenario/rep per cell) and exports to these shared, mutex-guarded
@@ -170,6 +182,17 @@ type Sweep struct {
 	PrefixGroups  int     `json:"-"` // snapshots taken across all prefix trees
 	PrefixHits    int     `json:"-"` // cells satisfied by forking a snapshot
 	SavedSimWeeks float64 `json:"-"` // sim-weeks not re-simulated thanks to sharing
+
+	// Parallel fan-out statistics, filled only when fork mode runs with
+	// ForkWorkers > 1 and at least one group actually fanned out. Excluded
+	// from the JSON rendering like the prefix stats, so forked,
+	// parallel-forked and unforked sweep files diff clean.
+	SnapshotBytes     int     `json:"-"` // portable-snapshot bytes published, summed over groups
+	SnapshotCaptureNS int64   `json:"-"` // wall time spent materializing snapshots
+	SnapshotAdoptNS   int64   `json:"-"` // wall time spent adopting snapshots, summed over adopters
+	AdoptedRunners    int     `json:"-"` // adopt-chunk jobs executed across all groups
+	ForksParallel     int     `json:"-"` // cells forked on adopted runners
+	ParallelSpeedup   float64 `json:"-"` // Σ fanned-out tree work / Σ tree wall span
 }
 
 // DeriveSeed mixes the sweep base seed with a cell's scenario and
@@ -232,6 +255,15 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		return DeriveSeed(baseSeed, scenIdx, rep)
 	}
 
+	// treeStat times one replication's fanned-out prefix tree for the
+	// parallel-speedup estimate: cost sums the wall time of the tree
+	// worker's walk and of every adopted chunk; the span runs from the
+	// tree walk's start to its last finisher. Only trees that actually
+	// fanned out get an entry.
+	type treeStat struct {
+		start, end time.Time
+		cost       float64
+	}
 	var (
 		mu           sync.Mutex
 		done         int
@@ -239,6 +271,14 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		prefixGroups int
 		prefixHits   int
 		savedWeeks   float64
+		ctxSkipped   bool
+
+		snapBytes int
+		snapCapNS int64
+		adoptNS   int64
+		adopted   int
+		forksPar  int
+		treeStats = make(map[int]*treeStat)
 	)
 	start := time.Now()
 	finish := func(i int, res RunResult, fromCkpt bool, wall float64) {
@@ -259,12 +299,27 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		}
 	}
 
-	// A job is either one standalone cell (cell ≥ 0) or one replication's
-	// prefix tree (cell == -1): every grouped scenario of that rep, run by
-	// forking snapshots off a single shared-prefix trajectory.
+	// A job is one standalone cell (cell ≥ 0), one replication's prefix
+	// tree (cell == -1, chunk == nil) — every grouped scenario of that
+	// rep, run by forking snapshots off a single shared-prefix trajectory —
+	// or one adopted chunk of a fanned-out prefix group (chunk != nil): a
+	// slice of a group's cells raced on another worker's runner via
+	// portable-snapshot adoption.
+	type adoptChunk struct {
+		ps    *project.PortableSnapshot
+		at    sim.Time
+		seed  uint64
+		rep   int
+		cells []int
+	}
 	type job struct {
-		cell int
-		rep  int
+		cell  int
+		rep   int
+		chunk *adoptChunk
+	}
+	forkWorkers := opts.ForkWorkers
+	if forkWorkers > workers {
+		forkWorkers = workers
 	}
 	var jobList []job
 	forking := opts.Fork && plan != nil
@@ -289,7 +344,21 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 		}
 	}
 
-	jobs := make(chan job)
+	// The job queue is dynamic: tree jobs enqueue adopt-chunk jobs as their
+	// groups fan out. The channel is buffered for the worst-case job count
+	// so enqueuing from a worker never blocks, and a WaitGroup-driven
+	// closer ends the range loops once every job — late-enqueued chunks
+	// included — has drained.
+	capN := len(jobList)
+	if forking && forkWorkers > 1 {
+		capN += opts.Reps * len(plan.groups) * forkWorkers
+	}
+	jobs := make(chan job, capN)
+	var pending sync.WaitGroup
+	enqueue := func(j job) {
+		pending.Add(1)
+		jobs <- j
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -357,10 +426,81 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 				finish(i, res, false, wall)
 			}
 
+			// runChunk adopts a published prefix snapshot into this worker's
+			// pooled runner and forks its slice of the group's cells — the
+			// receiving half of a fanned-out prefix group. A panic (in
+			// adoption or a fork) rebuilds the runner and reruns the chunk's
+			// unfinished cells standalone, exactly like the tree fallback.
+			runChunk := func(ch *adoptChunk) {
+				chunkStart := time.Now()
+				chunkDone := make(map[int]bool)
+				ok := func() (ok bool) {
+					defer func() {
+						if p := recover(); p != nil {
+							ok = false
+						}
+					}()
+					adoptStart := time.Now()
+					runner.AdoptSnapshot(ch.ps)
+					adoptDur := time.Since(adoptStart)
+					runner.Snapshot()
+					var nHits int
+					var saved float64
+					for _, ci := range ch.cells {
+						c := cells[ci]
+						sc := opts.Scenarios[c.scenIdx]
+						cellStart := time.Now()
+						rp := runner.Fork(cellConfig(&opts, sc, ch.seed, nil))
+						wall := time.Since(cellStart).Seconds()
+						res := RunResult{
+							Scenario: sc.Name,
+							Rep:      c.rep,
+							Seed:     ch.seed,
+							Scale:    opts.Base.WorkScale,
+							HHours:   opts.Base.HHours,
+							Metrics:  ExtractMetrics(rp),
+						}
+						if opts.Checkpoint != nil {
+							opts.Checkpoint.Record(res)
+						}
+						chunkDone[ci] = true
+						nHits++
+						saved += float64(ch.at) / float64(sim.Week)
+						finish(ci, res, false, wall)
+					}
+					mu.Lock()
+					prefixHits += nHits
+					savedWeeks += saved
+					adopted++
+					adoptNS += adoptDur.Nanoseconds()
+					forksPar += nHits
+					mu.Unlock()
+					return true
+				}()
+				mu.Lock()
+				if st := treeStats[ch.rep]; st != nil {
+					st.cost += time.Since(chunkStart).Seconds()
+					if t := time.Now(); t.After(st.end) {
+						st.end = t
+					}
+				}
+				mu.Unlock()
+				if !ok {
+					runner = project.NewRunner()
+					for _, ci := range ch.cells {
+						if !chunkDone[ci] {
+							runStandalone(ci)
+						}
+					}
+				}
+			}
+
 			// runTree walks one replication's prefix tree. Cells already in
 			// the checkpoint are finished as resumed before the walk; cells
 			// the walk forks are tracked in treeDone so the panic fallback
-			// reruns only the unfinished remainder standalone.
+			// reruns only the unfinished remainder standalone, and cells
+			// handed off to adopt chunks are excluded from it (their chunk
+			// finishes them independently).
 			runTree := func(rep int) {
 				treeSeed := DeriveSeed(baseSeed, plan.root, rep)
 				type pendingGroup struct {
@@ -384,6 +524,8 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					return // the whole tree resumed from the checkpoint
 				}
 				treeDone := make(map[int]bool)
+				handedOff := make(map[int]bool)
+				treeStart := time.Now()
 				ok := func() (ok bool) {
 					defer func() {
 						if p := recover(); p != nil {
@@ -401,9 +543,40 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					runner.Begin(baseCfg)
 					for gi, g := range groups {
 						runner.RunTo(g.at)
+						mine := g.cells
+						// Fan the group's suffixes out: materialize the
+						// shared prefix once, hand every chunk but the first
+						// to the pool for snapshot adoption, and keep the
+						// first for the in-place fork path below. A context
+						// that cannot be made portable (Materialize error)
+						// runs the whole group sequentially here instead.
+						if n := min(forkWorkers, len(g.cells)); n > 1 {
+							capStart := time.Now()
+							ps, err := runner.Materialize()
+							capDur := time.Since(capStart)
+							if err == nil {
+								mu.Lock()
+								snapBytes += ps.Bytes()
+								snapCapNS += capDur.Nanoseconds()
+								if treeStats[rep] == nil {
+									treeStats[rep] = &treeStat{start: treeStart}
+								}
+								mu.Unlock()
+								per := (len(g.cells) + n - 1) / n
+								mine = g.cells[:per]
+								for lo := per; lo < len(g.cells); lo += per {
+									hi := min(lo+per, len(g.cells))
+									ch := &adoptChunk{ps: ps, at: g.at, seed: treeSeed, rep: rep, cells: g.cells[lo:hi]}
+									for _, ci := range ch.cells {
+										handedOff[ci] = true
+									}
+									enqueue(job{cell: -1, chunk: ch})
+								}
+							}
+						}
 						runner.Snapshot()
 						nGroups++
-						for _, ci := range g.cells {
+						for _, ci := range mine {
 							c := cells[ci]
 							sc := opts.Scenarios[c.scenIdx]
 							cellStart := time.Now()
@@ -439,6 +612,14 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					mu.Unlock()
 					return true
 				}()
+				mu.Lock()
+				if st := treeStats[rep]; st != nil {
+					st.cost += time.Since(treeStart).Seconds()
+					if t := time.Now(); t.After(st.end) {
+						st.end = t
+					}
+				}
+				mu.Unlock()
 				if !ok {
 					// The panic may have left the pooled context mid-run and
 					// inconsistent; rebuild it and run the unfinished cells
@@ -446,7 +627,7 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 					runner = project.NewRunner()
 					for _, g := range groups {
 						for _, ci := range g.cells {
-							if !treeDone[ci] {
+							if !treeDone[ci] && !handedOff[ci] {
 								runStandalone(ci)
 							}
 						}
@@ -455,27 +636,45 @@ func Run(ctx context.Context, opts Options) (*Sweep, error) {
 			}
 
 			for j := range jobs {
-				if j.cell >= 0 {
-					runStandalone(j.cell)
+				if ctx.Err() != nil {
+					// Cancelled: drain the queue without running anything
+					// more; in-flight jobs on other workers finish.
+					mu.Lock()
+					ctxSkipped = true
+					mu.Unlock()
 				} else {
-					runTree(j.rep)
+					switch {
+					case j.chunk != nil:
+						runChunk(j.chunk)
+					case j.cell >= 0:
+						runStandalone(j.cell)
+					default:
+						runTree(j.rep)
+					}
 				}
+				pending.Done()
 			}
 		}()
 	}
 
-	var ctxErr error
-dispatch:
+	// The queue is buffered for every job that can exist (jobList plus the
+	// worst-case adopt-chunk fan-out), so enqueue never blocks: workers can
+	// publish chunks from inside a job without deadlocking on the channel.
+	// Close once all enqueued work — including chunks enqueued later — is
+	// done.
 	for _, j := range jobList {
-		select {
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break dispatch
-		case jobs <- j:
-		}
+		enqueue(j)
 	}
-	close(jobs)
+	go func() {
+		pending.Wait()
+		close(jobs)
+	}()
 	wg.Wait()
+
+	var ctxErr error
+	if ctxSkipped {
+		ctxErr = ctx.Err()
+	}
 
 	// Assemble in deterministic cell order, splitting out never-dispatched
 	// cells (cancelled sweeps) and twice-panicked ones.
@@ -493,6 +692,16 @@ dispatch:
 	sw := &Sweep{
 		Results: finished, Failed: failed, Resumed: resumed,
 		PrefixGroups: prefixGroups, PrefixHits: prefixHits, SavedSimWeeks: savedWeeks,
+		SnapshotBytes: snapBytes, SnapshotCaptureNS: snapCapNS, SnapshotAdoptNS: adoptNS,
+		AdoptedRunners: adopted, ForksParallel: forksPar,
+	}
+	var cost, span float64
+	for _, st := range treeStats {
+		cost += st.cost
+		span += st.end.Sub(st.start).Seconds()
+	}
+	if span > 0 {
+		sw.ParallelSpeedup = cost / span
 	}
 	sw.Aggregates = Aggregated(orderedNames(opts.Scenarios), finished)
 	if ctxErr != nil {

@@ -32,6 +32,17 @@ type Telemetry struct {
 	PrefixGroups  int
 	PrefixHits    int
 	SavedSimWeeks float64
+
+	// Parallel fan-out stats, present only when the sweep runs forked with
+	// ForkWorkers > 1 (same gating idea as Forked: fan-out off keeps the
+	// forked line shapes exactly as before). Filled via RecordFanout.
+	ForkWorkers       int
+	SnapshotBytes     int
+	SnapshotCaptureNS int64
+	SnapshotAdoptNS   int64
+	AdoptedRunners    int
+	ForksParallel     int
+	ParallelSpeedup   float64
 }
 
 // String renders the one-line human-readable ticker form.
@@ -41,6 +52,10 @@ func (t Telemetry) String() string {
 	if t.Forked {
 		s += fmt.Sprintf(", prefix: %d groups, %d forks, %.1f sim-weeks saved",
 			t.PrefixGroups, t.PrefixHits, t.SavedSimWeeks)
+	}
+	if t.ForkWorkers > 1 {
+		s += fmt.Sprintf(", fan-out: %d workers, %d adopted, %d parallel forks, %d snapshot B, %.2fx speedup",
+			t.ForkWorkers, t.AdoptedRunners, t.ForksParallel, t.SnapshotBytes, t.ParallelSpeedup)
 	}
 	return s
 }
@@ -69,6 +84,17 @@ func (t Telemetry) Fields() []obs.F {
 			obs.Num("saved-sim-weeks", t.SavedSimWeeks),
 		)
 	}
+	if t.ForkWorkers > 1 {
+		f = append(f,
+			obs.Int("fork-workers", int64(t.ForkWorkers)),
+			obs.Int("snapshot_bytes", int64(t.SnapshotBytes)),
+			obs.Int("snapshot_capture_ns", t.SnapshotCaptureNS),
+			obs.Int("snapshot_adopt_ns", t.SnapshotAdoptNS),
+			obs.Int("forks_parallel", int64(t.ForksParallel)),
+			obs.Int("adopted-runners", int64(t.AdoptedRunners)),
+			obs.Num("parallel-speedup-x", t.ParallelSpeedup),
+		)
+	}
 	return f
 }
 
@@ -82,6 +108,9 @@ type Tracker struct {
 	Workers int
 	Shards  int
 	Forked  bool
+	// ForkWorkers is the parallel fan-out width (0 or 1 = sequential
+	// forks); > 1 gates the fan-out stats into Snapshot output.
+	ForkWorkers int
 
 	mu      sync.Mutex
 	start   time.Time
@@ -94,6 +123,14 @@ type Tracker struct {
 	prefixGroups int
 	prefixHits   int
 	savedWeeks   float64
+
+	// Parallel fan-out totals, filled at sweep end via RecordFanout.
+	snapBytes int
+	snapCapNS int64
+	adoptNS   int64
+	adopted   int
+	forksPar  int
+	speedup   float64
 }
 
 // RecordPrefix stores a finished forked sweep's prefix-sharing stats so
@@ -103,6 +140,16 @@ func (tr *Tracker) RecordPrefix(groups, hits int, savedSimWeeks float64) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	tr.prefixGroups, tr.prefixHits, tr.savedWeeks = groups, hits, savedSimWeeks
+}
+
+// RecordFanout stores a finished sweep's parallel fan-out stats (snapshot
+// volume, capture/adopt time, adopted runners, forks run in parallel,
+// speedup over a sequential walk of the same trees).
+func (tr *Tracker) RecordFanout(bytes int, capNS, adoptNS int64, adopted, forksPar int, speedup float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.snapBytes, tr.snapCapNS, tr.adoptNS = bytes, capNS, adoptNS
+	tr.adopted, tr.forksPar, tr.speedup = adopted, forksPar, speedup
 }
 
 // NewTracker starts tracking a sweep of total cells from now.
@@ -141,6 +188,14 @@ func (tr *Tracker) Snapshot() Telemetry {
 		PrefixGroups:   tr.prefixGroups,
 		PrefixHits:     tr.prefixHits,
 		SavedSimWeeks:  tr.savedWeeks,
+
+		ForkWorkers:       tr.ForkWorkers,
+		SnapshotBytes:     tr.snapBytes,
+		SnapshotCaptureNS: tr.snapCapNS,
+		SnapshotAdoptNS:   tr.adoptNS,
+		AdoptedRunners:    tr.adopted,
+		ForksParallel:     tr.forksPar,
+		ParallelSpeedup:   tr.speedup,
 	}
 	if t.ElapsedSeconds > 0 && tr.done > 0 {
 		t.CellsPerSec = float64(tr.done) / t.ElapsedSeconds

@@ -442,11 +442,22 @@ func (p *Plane) CompleteFrom(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds 
 
 // scheduleRetry queues one re-send attempt with ±50% seeded jitter; the
 // event re-draws the loss and either delivers, re-queues with the rest of
-// the budget, or drops.
+// the budget, or drops. The jitter is drawn at scheduling time (the event
+// time carries it), so an adopted retry event needs no re-draw.
 func (p *Plane) scheduleRetry(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds float64, host, budget int) {
 	p.Stats.RetriedUploads++
 	j := frac(p.seed^domRetry, uint64(host), uint64(p.upSeq[host]))
-	p.eng.ScheduleAfter(p.cfg.UploadRetryDelay*(0.5+j), func() {
+	p.eng.ScheduleAfterCall(p.cfg.UploadRetryDelay*(0.5+j), p.retryFn(a, outcome, cpuSeconds, host, budget),
+		sim.Call{Kind: sim.CallUploadRetry, K0: uint8(outcome), K1: uint8(budget),
+			A0: int32(host), A1: wcg.AssignmentIndex(a), F0: cpuSeconds})
+}
+
+// retryFn builds the re-send closure for one scheduled retry. Split out of
+// scheduleRetry so snapshot adoption can rebuild the identical closure,
+// bound to the adopting context's plane and assignment, from a
+// CallUploadRetry descriptor.
+func (p *Plane) retryFn(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds float64, host, budget int) func() {
+	return func() {
 		if !p.lostUpload(host) {
 			p.inner.CompleteFrom(a, outcome, cpuSeconds, host)
 			return
@@ -457,7 +468,7 @@ func (p *Plane) scheduleRetry(a *wcg.Assignment, outcome wcg.Outcome, cpuSeconds
 		} else {
 			p.Stats.DroppedResults++
 		}
-	})
+	}
 }
 
 // DeadlineFor delegates to the middleware unchanged.

@@ -499,7 +499,30 @@ func (c *Campaign) start() {
 	probe := cfg.Probe
 	c.sampler = c.bindProbe(probe)
 
-	c.weekly = c.engine.Every(0, sim.Week, func(now sim.Time) {
+	c.weekly = c.engine.Every(0, sim.Week, c.weeklyFn(probe))
+	c.weekly.Tag(sim.Call{Kind: sim.CallTickWeekly})
+	// A daily feeder keeps the queue from draining dry between the weekly
+	// phase adjustments (the server would otherwise starve fast hosts).
+	c.daily = c.engine.Every(sim.Day/2, sim.Day, c.dailyFn())
+	c.daily.Tag(sim.Call{Kind: sim.CallTickDaily})
+	// Churn: permanent departures paired with replacement joins, sampled
+	// at a fixed cadence so the injection is an ordinary kernel event.
+	// SetTarget stops the oldest hosts and the restore spawns replacements
+	// from the same FIFO seed stream both kernels share.
+	c.churn = nil
+	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
+		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, c.churnFn(plane))
+		c.churn.Tag(sim.Call{Kind: sim.CallTickChurn})
+	}
+}
+
+// weeklyFn builds the legacy weekly phase-schedule tick. A factory (rather
+// than an inline closure in start) so snapshot adoption can rebuild the
+// identical closure on a dormant ticker; the body is unchanged from the
+// pre-portable inline version.
+func (c *Campaign) weeklyFn(probe *obs.Probe) func(sim.Time) {
+	cfg := &c.t.cfg
+	return func(now sim.Time) {
 		w := now / sim.Week
 		if c.t.done {
 			return
@@ -535,30 +558,29 @@ func (c *Campaign) start() {
 		}
 		c.pop.SetTarget(target)
 		c.t.feed(c.pop.Active())
-	})
-	// A daily feeder keeps the queue from draining dry between the weekly
-	// phase adjustments (the server would otherwise starve fast hosts).
-	c.daily = c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+	}
+}
+
+// dailyFn builds the legacy daily feeder tick (factory: see weeklyFn).
+func (c *Campaign) dailyFn() func(sim.Time) {
+	return func(sim.Time) {
 		if !c.t.done {
 			c.t.feed(c.pop.Active())
 		}
-	})
-	// Churn: permanent departures paired with replacement joins, sampled
-	// at a fixed cadence so the injection is an ordinary kernel event.
-	// SetTarget stops the oldest hosts and the restore spawns replacements
-	// from the same FIFO seed stream both kernels share.
-	c.churn = nil
-	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
-		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
-			if c.t.done {
-				return
-			}
-			if n := plane.ChurnCount(c.pop.Active()); n > 0 {
-				a := c.pop.Active()
-				c.pop.SetTarget(a - n)
-				c.pop.SetTarget(a)
-			}
-		})
+	}
+}
+
+// churnFn builds the legacy churn tick (factory: see weeklyFn).
+func (c *Campaign) churnFn(plane *faults.Plane) func(sim.Time) {
+	return func(sim.Time) {
+		if c.t.done {
+			return
+		}
+		if n := plane.ChurnCount(c.pop.Active()); n > 0 {
+			a := c.pop.Active()
+			c.pop.SetTarget(a - n)
+			c.pop.SetTarget(a)
+		}
 	}
 }
 

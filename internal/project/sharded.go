@@ -31,7 +31,30 @@ func (c *Campaign) startSharded() {
 	// exact spawn count — except when the project finishes at that very
 	// tick, where it overpredicts harmlessly (slots keep, seeds are
 	// pre-drawn from a stream nothing else reads).
-	kern.SpawnHint = func(w float64) int {
+	kern.SpawnHint = c.spawnHintFn()
+	c.weekly = c.engine.Every(0, sim.Week, c.shardedWeeklyFn(probe))
+	c.weekly.Tag(sim.Call{Kind: sim.CallTickWeekly})
+	c.daily = c.engine.Every(sim.Day/2, sim.Day, c.shardedDailyFn())
+	c.daily.Tag(sim.Call{Kind: sim.CallTickDaily})
+	// Churn mirror of start: same cadence, same SetTarget pair, so the
+	// sharded kernel sees departures and replacement joins at exactly the
+	// legacy moments (replacements draw their seeds FIFO from the same
+	// stream, whether they come from the slot pool or inline builds).
+	c.churn = nil
+	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
+		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, c.shardedChurnFn(plane))
+		c.churn.Tag(sim.Call{Kind: sim.CallTickChurn})
+	}
+}
+
+// spawnHintFn builds the slot-pool spawn forecast. A factory (like
+// weeklyFn in campaign.go) so snapshot adoption can rebuild the identical
+// closure on an adopting kernel; the body is unchanged from the
+// pre-portable inline version.
+func (c *Campaign) spawnHintFn() func(float64) int {
+	cfg := &c.t.cfg
+	kern := c.kern
+	return func(w float64) int {
 		if c.t.done {
 			return 0
 		}
@@ -42,7 +65,14 @@ func (c *Campaign) startSharded() {
 		}
 		return target - kern.Active()
 	}
-	c.weekly = c.engine.Every(0, sim.Week, func(now sim.Time) {
+}
+
+// shardedWeeklyFn builds the sharded weekly phase-schedule tick (factory:
+// see spawnHintFn).
+func (c *Campaign) shardedWeeklyFn(probe *obs.Probe) func(sim.Time) {
+	cfg := &c.t.cfg
+	kern := c.kern
+	return func(now sim.Time) {
 		w := now / sim.Week
 		if c.t.done {
 			return
@@ -75,28 +105,32 @@ func (c *Campaign) startSharded() {
 		kern.SetTarget(target)
 		c.t.server.EnsureHosts(kern.TotalJoined())
 		c.t.feed(kern.Active())
-	})
-	c.daily = c.engine.Every(sim.Day/2, sim.Day, func(sim.Time) {
+	}
+}
+
+// shardedDailyFn builds the sharded daily feeder tick (factory: see
+// spawnHintFn).
+func (c *Campaign) shardedDailyFn() func(sim.Time) {
+	kern := c.kern
+	return func(sim.Time) {
 		if !c.t.done {
 			c.t.feed(kern.Active())
 		}
-	})
-	// Churn mirror of start: same cadence, same SetTarget pair, so the
-	// sharded kernel sees departures and replacement joins at exactly the
-	// legacy moments (replacements draw their seeds FIFO from the same
-	// stream, whether they come from the slot pool or inline builds).
-	c.churn = nil
-	if plane := c.activePlane(); plane != nil && plane.ChurnEnabled() {
-		c.churn = c.engine.Every(faults.ChurnOffset, faults.ChurnInterval, func(sim.Time) {
-			if c.t.done {
-				return
-			}
-			if n := plane.ChurnCount(kern.Active()); n > 0 {
-				a := kern.Active()
-				kern.SetTarget(a - n)
-				kern.SetTarget(a)
-			}
-		})
+	}
+}
+
+// shardedChurnFn builds the sharded churn tick (factory: see spawnHintFn).
+func (c *Campaign) shardedChurnFn(plane *faults.Plane) func(sim.Time) {
+	kern := c.kern
+	return func(sim.Time) {
+		if c.t.done {
+			return
+		}
+		if n := plane.ChurnCount(kern.Active()); n > 0 {
+			a := kern.Active()
+			kern.SetTarget(a - n)
+			kern.SetTarget(a)
+		}
 	}
 }
 

@@ -54,10 +54,55 @@ const (
 	Year   = 365.25 * Day
 )
 
+// Call describes what a scheduled event's closure does, in portable terms:
+// a kind tag plus the small arguments the closure captured. A snapshot that
+// must travel between run contexts cannot carry the closures themselves
+// (they pin the source context's pointers), so the scheduling sites tag
+// their events with a Call and the adopting context rebuilds an equivalent
+// closure from the descriptor. Kind 0 (CallNone) marks an untagged event;
+// ExportEvents refuses to materialize a schedule containing one.
+//
+// Field meaning is per-kind and documented at the kind constants; the
+// struct is sized so tagging stays a handful of stores on the hot path.
+type Call struct {
+	Kind   uint8
+	K0, K1 uint8
+	A0, A1 int32
+	F0     float64
+}
+
+// Event call kinds. The argument conventions are owned by the packages
+// that schedule the events; they are centralized here only so the kind
+// space has a single allocator.
+const (
+	// CallNone marks an event whose scheduling site has not been tagged.
+	CallNone uint8 = iota
+	// CallHostRequest: a volunteer host's work-request callback. A0 = host index.
+	CallHostRequest
+	// CallHostTaskDone: a volunteer host's compute-completion callback. A0 = host index.
+	CallHostTaskDone
+	// CallHostLate: a host's late-return upload. A0 = host index,
+	// A1 = assignment arena index, F0 = reported CPU seconds.
+	CallHostLate
+	// CallWheelDrain: a deadline-wheel drain tick. K0 = deadline class.
+	CallWheelDrain
+	// CallSpoolDrain: the outage spool drain at a window end.
+	CallSpoolDrain
+	// CallUploadRetry: a fault-plane upload retry. A0 = host index,
+	// A1 = assignment arena index, K0 = outcome, K1 = remaining budget,
+	// F0 = reported CPU seconds.
+	CallUploadRetry
+	// CallTickWeekly, CallTickDaily, CallTickChurn: campaign ticker ticks.
+	CallTickWeekly
+	CallTickDaily
+	CallTickChurn
+)
+
 // Event is a scheduled callback. Cancel it via its handle.
 type Event struct {
 	at       Time
 	fn       func()
+	call     Call
 	inHeap   bool
 	canceled bool
 	recycle  bool // no handle outstanding; safe to reuse after it pops
@@ -294,6 +339,20 @@ func (e *Engine) Schedule(t Time, fn func()) {
 // ScheduleAfter schedules fn to run d seconds from now, with no handle.
 func (e *Engine) ScheduleAfter(d float64, fn func()) {
 	e.Schedule(e.now+d, fn)
+}
+
+// ScheduleCall is Schedule plus a portable Call descriptor, so the event
+// survives snapshot materialization (see ExportEvents). Costs the same as
+// Schedule apart from a few extra stores.
+func (e *Engine) ScheduleCall(t Time, fn func(), c Call) {
+	ev := e.alloc()
+	*ev = Event{fn: fn, recycle: true, call: c}
+	e.insert(ev, t)
+}
+
+// ScheduleAfterCall is ScheduleAfter plus a portable Call descriptor.
+func (e *Engine) ScheduleAfterCall(d float64, fn func(), c Call) {
+	e.ScheduleCall(e.now+d, fn, c)
 }
 
 // reschedule re-arms a popped handle event at a new time, reusing its
@@ -541,6 +600,33 @@ func (e *Engine) ObserveEvery(start Time, interval float64, fn func(Time)) *Tick
 	t.ev = ev
 	return t
 }
+
+// Tag attaches a portable Call descriptor to the ticker's pending event.
+// A ticker reuses one event struct for its whole life and reschedule
+// preserves every field except the callback, so tagging once at creation
+// keeps the tick exportable forever.
+func (t *Ticker) Tag(c Call) { t.ev.call = c }
+
+// DormantTicker builds a ticker that is bound to the engine but has no
+// pending event: AttachEvent arms it with an adopted heap entry. Snapshot
+// adoption uses the pair to revive a mid-run periodic process without
+// scheduling a fresh first tick (which would double-fire it).
+func (e *Engine) DormantTicker(interval float64, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.tickFn = t.tick
+	return t
+}
+
+// TickFn returns the ticker's bound per-tick callback, the func() an
+// adopted heap event must invoke so the ticker reschedules itself exactly
+// as a natively started one would.
+func (t *Ticker) TickFn() func() { return t.tickFn }
+
+// AttachEvent hands the ticker ownership of an adopted event handle.
+func (t *Ticker) AttachEvent(ev *Event) { t.ev = ev }
 
 func (t *Ticker) tick() {
 	if t.stopped {

@@ -57,6 +57,16 @@ func (a *Arena[T]) Allocated() int {
 	return a.ci*Chunk + a.off
 }
 
+// At returns the i-th object carved since the last Reset, in allocation
+// order. Allocation order is deterministic for a deterministic run, so an
+// index is a portable name for an arena object: snapshot materialization
+// translates intra-run pointers to indices and the adopting run context —
+// which allocates the same objects in the same order — resolves them back
+// through At.
+func (a *Arena[T]) At(i int) *T {
+	return &a.chunks[i/Chunk][i%Chunk]
+}
+
 // Reset rewinds the arena for reuse: every previously carved object is
 // zeroed and its slot will be handed out again. All pointers obtained from
 // Alloc before the Reset must be dead — using one afterwards reads (and

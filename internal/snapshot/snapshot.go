@@ -6,16 +6,48 @@
 //
 // # Model
 //
-// A snapshot is a *restore point*, not an independent copy. The live run
-// context is full of closures (scheduled events, policy method values,
-// completion hooks) that capture pointers to the live server, hosts and
-// tenant; a deep copy would have to rewrite every one of those pointers.
-// Instead, every subsystem copies its mutable state *out* into passive
-// buffers at the snapshot point and copies it back *in* to the same
-// objects before each fork. Forked suffixes therefore run sequentially on
-// one run context; what is guaranteed is that after a restore the context
-// is byte-indistinguishable from the moment of capture, so each suffix
-// behaves exactly as if the prefix had just been simulated for it alone.
+// Snapshots come in two strengths.
+//
+// An *in-place* snapshot (Capture/Restore, the Slice type below) is a
+// restore point, not an independent copy. The live run context is full of
+// closures (scheduled events, policy method values, completion hooks)
+// that capture pointers to the live server, hosts and tenant; the
+// in-place path sidesteps them entirely by copying mutable state *out*
+// into passive buffers and back *in* to the same objects before each
+// fork. Suffixes forked from one context therefore run sequentially on
+// that context; what is guaranteed is that after a restore the context is
+// byte-indistinguishable from the moment of capture.
+//
+// A *portable* snapshot (Materialize / project.Runner.AdoptSnapshot)
+// upgrades those same passive buffers into a self-contained value that a
+// different pooled run context can adopt, so the suffixes of one prefix
+// can race on every core. The contract splits the state three ways:
+//
+//   - Copies: mutable POD state — SoA columns, queues, tables, counters,
+//     rng sources, histogram bins — is deep-copied into buffers the
+//     portable snapshot owns. Nothing aliases the source context, so the
+//     source keeps running (on to the next divergence group) while any
+//     number of adopters read the snapshot concurrently.
+//   - Translates: intra-run pointers (*WUState, *Assignment, hosts) are
+//     rewritten as arena/slice indices at capture and resolved against
+//     the adopter's own arenas — which, having replayed the same
+//     deterministic allocation sequence, carve the same objects in the
+//     same order (slab.Arena.At).
+//   - Re-binds: everything with a closure environment is never copied at
+//     all. The adopter first rebuilds immutable structure with the same
+//     Reset/prepare/bind machinery a fresh run uses (policy method
+//     values, completion hooks, batch plans, fault windows), then revives
+//     the schedule from portable descriptors: every scheduled event
+//     carries a sim.Call tag naming its kind and small arguments, and
+//     the adopting subsystems rebuild equivalent closures bound to their
+//     own objects (sim.Engine.AdoptEvent, dormant tickers). An untagged
+//     event makes ExportEvents fail and the caller falls back to the
+//     sequential in-place path — portability is verified, not assumed.
+//
+// After adoption the target context is observably byte-identical to the
+// source at the capture point: same clock, same (time, seq) event order,
+// same rng streams, same counters. A forked suffix run on an adopter
+// produces the same report bytes as one run on the source.
 //
 // # The slice rule
 //
@@ -98,6 +130,8 @@
 // continue to record finished cells, not mid-run state.
 package snapshot
 
+import "unsafe"
+
 // Slice captures one Go slice per the slice rule above: the header at
 // capture time plus a private copy of the contents up to len. The private
 // buffer is reused across captures, so a Slice that is captured and
@@ -123,3 +157,36 @@ func (c *Slice[T]) Restore() []T {
 
 // Len returns the captured length.
 func (c *Slice[T]) Len() int { return len(c.data) }
+
+// Materialize returns a freshly allocated copy of the captured contents.
+// Unlike Restore it does not touch (or alias) the captured backing array,
+// so the result is safe to publish to another run context while the
+// source runs on. This is the bridge from an in-place capture to a
+// portable snapshot.
+func (c *Slice[T]) Materialize() []T {
+	if len(c.data) == 0 {
+		return nil
+	}
+	out := make([]T, len(c.data))
+	copy(out, c.data)
+	return out
+}
+
+// Clone returns a freshly allocated copy of s — the portable counterpart
+// of the slice rule for state that is deep-copied directly off the live
+// structures rather than through a Slice capture.
+func Clone[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// Size returns the in-memory size of s's elements in bytes, for the
+// snapshot_bytes accounting of a materialized snapshot.
+func Size[T any](s []T) int {
+	var z T
+	return len(s) * int(unsafe.Sizeof(z))
+}

@@ -102,6 +102,11 @@ type WUState struct {
 	queued     bool // sitting in the server's FIFO
 	queuedLive bool // counted in nQueuedLive
 	needy      bool // counted in nNeedy
+
+	// idx is the workunit's allocation index, stamped at allocWU: the
+	// portable name a cross-context snapshot translates this pointer to
+	// (in retained mode it equals the arena slot; see slab.Arena.At).
+	idx int32
 }
 
 // Config tunes the middleware policies.
@@ -219,9 +224,20 @@ func (s Stats) UsefulFraction() float64 {
 type Assignment struct {
 	WU       *WUState
 	IssuedAt sim.Time
+	idx      int32 // allocation index (see WUState.idx)
 	returned bool
 	class    uint8 // deadline class (wheel index); 0 under UniformDeadline
 	proj     uint8 // issuing server's project index (multi-project grids)
+}
+
+// AssignmentIndex returns a's portable allocation index (see WUState.idx);
+// NilIndex for nil. Event tags carry it so an adopting run context can
+// resolve the assignment against its own arena.
+func AssignmentIndex(a *Assignment) int32 {
+	if a == nil {
+		return NilIndex
+	}
+	return a.idx
 }
 
 // Project returns the project index of the server that issued this
@@ -317,6 +333,8 @@ type Server struct {
 	asChunk []Assignment
 	wuArena slab.Arena[WUState]
 	asArena slab.Arena[Assignment]
+	wuNext  int32 // next allocation index to stamp (WUState.idx)
+	asNext  int32
 
 	Stats Stats
 
@@ -390,20 +408,32 @@ func (s *Server) Project() int { return int(s.proj) }
 // added, so the first run's chunks already land in the reusable arena.
 func (s *Server) Retain() { s.retain = true }
 
-// allocWU carves one WUState from the allocator in force.
+// allocWU carves one WUState from the allocator in force, stamping its
+// allocation index.
 func (s *Server) allocWU() *WUState {
+	var st *WUState
 	if s.retain {
-		return s.wuArena.Alloc()
+		st = s.wuArena.Alloc()
+	} else {
+		st = slab.Carve(&s.wuChunk)
 	}
-	return slab.Carve(&s.wuChunk)
+	st.idx = s.wuNext
+	s.wuNext++
+	return st
 }
 
-// allocAssignment carves one Assignment from the allocator in force.
+// allocAssignment carves one Assignment from the allocator in force,
+// stamping its allocation index.
 func (s *Server) allocAssignment() *Assignment {
+	var a *Assignment
 	if s.retain {
-		return s.asArena.Alloc()
+		a = s.asArena.Alloc()
+	} else {
+		a = slab.Carve(&s.asChunk)
 	}
-	return slab.Carve(&s.asChunk)
+	a.idx = s.asNext
+	s.asNext++
+	return a
 }
 
 // Reset rearms the server for another run under a (possibly different)
@@ -440,6 +470,7 @@ func (s *Server) Reset(cfg Config) {
 	s.bindPolicies() // sizes and clears the deadline wheels
 	s.wuArena.Reset()
 	s.asArena.Reset()
+	s.wuNext, s.asNext = 0, 0
 	s.Stats = Stats{}
 	s.OnComplete = nil
 	s.OnWeekCPU = nil
@@ -622,7 +653,8 @@ func (s *Server) RequestWork() *Assignment {
 		// reentrant callback lands here mid-drain, earlier live
 		// entries may still be in the ring and must not fire late.
 		w.armed = true
-		s.engine.Schedule(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn)
+		s.engine.ScheduleCall(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn,
+			sim.Call{Kind: sim.CallWheelDrain, K0: a.class})
 	}
 	return a
 }
@@ -665,7 +697,8 @@ func (s *Server) drainWheel(k int) {
 	// permanent drain chain.
 	if !w.armed && w.dlHead < len(w.dlq) {
 		w.armed = true
-		s.engine.Schedule(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn)
+		s.engine.ScheduleCall(w.dlq[w.dlHead].IssuedAt+w.deadline, w.drainFn,
+			sim.Call{Kind: sim.CallWheelDrain, K0: uint8(k)})
 	}
 }
 
@@ -703,7 +736,8 @@ func (s *Server) CompleteFrom(a *Assignment, outcome Outcome, cpuSeconds float64
 				// the spool machinery (the nil-probe alloc gate covers it).
 				s.spoolFn = s.drainSpool
 			}
-			s.engine.Schedule(s.outages[s.outIdx].End, s.spoolFn)
+			s.engine.ScheduleCall(s.outages[s.outIdx].End, s.spoolFn,
+				sim.Call{Kind: sim.CallSpoolDrain})
 		}
 		s.spool = append(s.spool, spooled{a: a, cpu: cpuSeconds, host: int32(host), outcome: outcome})
 		return

@@ -63,6 +63,8 @@ type ServerSnapshot struct {
 
 	wuArena slab.ArenaSnapshot[WUState]
 	asArena slab.ArenaSnapshot[Assignment]
+	wuNext  int32
+	asNext  int32
 
 	stats Stats
 
@@ -119,6 +121,7 @@ func (snap *ServerSnapshot) Capture(s *Server) {
 
 	snap.wuArena.Capture(&s.wuArena)
 	snap.asArena.Capture(&s.asArena)
+	snap.wuNext, snap.asNext = s.wuNext, s.asNext
 
 	snap.stats = s.Stats
 	snap.onComplete = s.OnComplete
@@ -164,6 +167,7 @@ func (snap *ServerSnapshot) Restore(s *Server) {
 
 	snap.wuArena.Restore(&s.wuArena)
 	snap.asArena.Restore(&s.asArena)
+	s.wuNext, s.asNext = snap.wuNext, snap.asNext
 
 	s.Stats = snap.stats
 	s.OnComplete = snap.onComplete
